@@ -1,0 +1,75 @@
+// Command amigo-server runs the AmiGo control server: the REST endpoint
+// measurement endpoints (amigo-me) register with, poll for tasks, and
+// upload results to.
+//
+// Usage:
+//
+//	amigo-server [-addr :8080]
+//
+// Schedule tasks by POSTing to /admin/schedule:
+//
+//	curl -X POST localhost:8080/admin/schedule \
+//	  -d '{"me":"me-PAK","kind":"speedtest","config":"esim","count":3}'
+//
+// Results are readable at /admin/results.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"roamsim/internal/amigo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := amigo.NewServer(nil)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+
+	mux.HandleFunc("POST /admin/schedule", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ME     string `json:"me"`
+			Kind   string `json:"kind"`
+			Target string `json:"target"`
+			Config string `json:"config"`
+			Count  int    `json:"count"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if req.Count <= 0 {
+			req.Count = 1
+		}
+		var ids []int
+		for i := 0; i < req.Count; i++ {
+			id, err := srv.Schedule(req.ME, amigo.Task{
+				Kind: req.Kind, Target: req.Target, Config: req.Config,
+			})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			ids = append(ids, id)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"task_ids": ids})
+	})
+	mux.HandleFunc("GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.Results())
+	})
+	mux.HandleFunc("GET /admin/mes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(srv.MEs())
+	})
+
+	fmt.Printf("amigo-server listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

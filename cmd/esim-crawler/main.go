@@ -1,0 +1,107 @@
+// Command esim-crawler reproduces the crawler-based campaign: it serves
+// the synthetic eSIM marketplace aggregator and crawls it daily over the
+// study period from multiple vantage points, printing the economics
+// summary (continent medians, provider comparison, price-discrimination
+// check).
+//
+// Usage:
+//
+//	esim-crawler [-seed 42] [-providers 54] [-vantages "Madrid,Abu Dhabi,New Jersey"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"roamsim/internal/esimdb"
+	"roamsim/internal/geo"
+	"roamsim/internal/stats"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "marketplace seed")
+	providers := flag.Int("providers", 54, "number of providers")
+	vantages := flag.String("vantages", "Madrid,Abu Dhabi,New Jersey", "crawl vantage points")
+	flag.Parse()
+
+	m := esimdb.New(*seed, *providers)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	dates := []time.Time{
+		time.Date(2024, 2, 14, 0, 0, 0, 0, time.UTC),
+		time.Date(2024, 3, 15, 0, 0, 0, 0, time.UTC),
+		time.Date(2024, 4, 15, 0, 0, 0, 0, time.UTC),
+		esimdb.SnapshotDate,
+	}
+	fmt.Println("== continent median $/GB (Airalo) over the campaign ==")
+	c := &esimdb.Crawler{BaseURL: srv.URL, Vantage: "Madrid"}
+	for _, d := range dates {
+		plans, err := c.Crawl(d)
+		if err != nil {
+			fatal(err)
+		}
+		dist := esimdb.ContinentDistribution(plans, "Airalo")
+		fmt.Printf("%s:", d.Format("2006-01-02"))
+		for _, ct := range []geo.Continent{geo.Europe, geo.Asia, geo.Africa, geo.NorthAmerica} {
+			fmt.Printf("  %s=%.2f", ct, stats.Median(dist[ct]))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== provider comparison (snapshot 2024-05-01) ==")
+	snapshot, err := c.Crawl(esimdb.SnapshotDate)
+	if err != nil {
+		fatal(err)
+	}
+	pm := esimdb.ProviderMedianPerGB(snapshot)
+	for _, name := range []string{"Airhub", "MobiMatter", "Nomad", "Airalo", "Keepgo"} {
+		info := pm[name]
+		fmt.Printf("%-12s median $%.2f/GB across %d countries (%d offers)\n",
+			name, info.Median, info.Countries, info.Offers)
+	}
+	var local []float64
+	for _, o := range esimdb.LocalSIMOffers {
+		local = append(local, o.PerGB())
+	}
+	fmt.Printf("%-12s median $%.2f/GB (volunteer-collected)\n", "local SIM", stats.Median(local))
+
+	fmt.Println("\n== price discrimination check ==")
+	var first []esimdb.Plan
+	identical := true
+	for _, v := range strings.Split(*vantages, ",") {
+		vc := &esimdb.Crawler{BaseURL: srv.URL, Vantage: strings.TrimSpace(v)}
+		plans, err := vc.Crawl(esimdb.SnapshotDate)
+		if err != nil {
+			fatal(err)
+		}
+		if first == nil {
+			first = plans
+			continue
+		}
+		if len(plans) != len(first) {
+			identical = false
+		} else {
+			for i := range plans {
+				if plans[i] != first[i] {
+					identical = false
+					break
+				}
+			}
+		}
+	}
+	if identical {
+		fmt.Println("no price discrimination observed: identical catalogs from every vantage")
+	} else {
+		fmt.Println("WARNING: catalogs differ across vantages")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esim-crawler:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package roamsim_test
+
+import (
+	"fmt"
+
+	"roamsim"
+	"roamsim/internal/core"
+	"roamsim/internal/mno"
+)
+
+// ExampleNewWorld shows the core loop: attach an eSIM in a visited
+// country, classify its roaming architecture, and see where it breaks
+// out. Everything is deterministic for a given seed.
+func ExampleNewWorld() {
+	w, err := roamsim.NewWorld(42)
+	if err != nil {
+		panic(err)
+	}
+	s, err := w.Deployment("PAK").AttachESIM(w.Rand())
+	if err != nil {
+		panic(err)
+	}
+	arch, err := w.ClassifyArchitecture(s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("issuer:", s.Profile.Issuer.Name)
+	fmt.Println("architecture:", arch)
+	fmt.Println("breakout:", s.Site.City, s.Site.Country)
+	// Output:
+	// issuer: Singtel
+	// architecture: HR
+	// breakout: Singapore SGP
+}
+
+// ExampleWorld_Demarcate runs a traceroute and splits it at the first
+// public hop — the paper's demarcation methodology.
+func ExampleWorld_Demarcate() {
+	w, err := roamsim.NewWorld(42)
+	if err != nil {
+		panic(err)
+	}
+	s, err := w.Deployment("MDA").AttachESIM(w.Rand())
+	if err != nil {
+		panic(err)
+	}
+	tr, err := roamsim.Traceroute(s, "Google", w.Rand())
+	if err != nil {
+		panic(err)
+	}
+	pa, err := w.Demarcate(tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("PGW operator:", pa.PGW.AS.Org)
+	fmt.Println("PGW country:", pa.PGW.Country)
+	// Output:
+	// PGW operator: Wireless Logic
+	// PGW country: GBR
+}
+
+// ExampleMineIMSIRanges demonstrates the IMSI pattern-mining step the
+// paper used with the cooperating UK operator.
+func ExampleMineIMSIRanges() {
+	rs, err := roamsim.MineIMSIRanges([]mno.IMSI{
+		"260067310000001", "260067310002222", "260067310005555",
+	}, core.MineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ranges:", len(rs.Ranges))
+	fmt.Println("matches leased IMSI:", rs.Match("260067310009999"))
+	fmt.Println("matches retail IMSI:", rs.Match("260060000000001"))
+	// Output:
+	// ranges: 1
+	// matches leased IMSI: true
+	// matches retail IMSI: false
+}

@@ -1,0 +1,85 @@
+// Marketplace runs the economics analysis end to end over the crawler
+// code path: serve the synthetic aggregator over HTTP, crawl the study
+// period from three vantage points, and reproduce the Section 6
+// findings — continent price gaps, the April Asia price rise, the
+// provider ordering, and the absence of price discrimination.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"roamsim"
+	"roamsim/internal/esimdb"
+	"roamsim/internal/geo"
+	"roamsim/internal/stats"
+)
+
+func main() {
+	m := roamsim.Marketplace(2024, 54)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	crawler := &esimdb.Crawler{BaseURL: srv.URL, Vantage: "Madrid"}
+
+	// Weekly crawls across the campaign.
+	fmt.Println("weekly median $/GB (Airalo), Europe vs Asia:")
+	for d := esimdb.CampaignStart; !d.After(esimdb.CampaignEnd); d = d.AddDate(0, 0, 14) {
+		plans, err := crawler.Crawl(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist := esimdb.ContinentDistribution(plans, "Airalo")
+		fmt.Printf("  %s  EU=%.2f  Asia=%.2f\n",
+			d.Format("Jan 02"), stats.Median(dist[geo.Europe]), stats.Median(dist[geo.Asia]))
+	}
+
+	// Snapshot analysis.
+	snapshot, err := crawler.Crawl(esimdb.SnapshotDate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot %s: %d offers from %d providers\n",
+		esimdb.SnapshotDate.Format("2006-01-02"), len(snapshot), len(m.Providers()))
+
+	pm := esimdb.ProviderMedianPerGB(snapshot)
+	fmt.Println("\nprovider league table (cheapest first):")
+	for _, name := range []string{"Airhub", "MobiMatter", "Nomad", "Airalo", "Keepgo"} {
+		fmt.Printf("  %-12s $%.2f/GB\n", name, pm[name].Median)
+	}
+
+	// Same-b-MNO price dispersion (the Figure 19 observation).
+	fmt.Println("\nPlay-issued Airalo plans, Georgia vs Spain (same b-MNO!):")
+	for _, iso := range []string{"GEO", "ESP"} {
+		var perGB []float64
+		for _, p := range snapshot {
+			if p.Provider == "Airalo" && p.Country == iso && p.SizeGB <= 5 {
+				perGB = append(perGB, p.PerGB())
+			}
+		}
+		fmt.Printf("  %s median $%.2f/GB\n", iso, stats.Median(perGB))
+	}
+
+	// Discrimination check across vantages.
+	vantages := []string{"Madrid", "Abu Dhabi", "New Jersey"}
+	base, _ := crawler.Crawl(esimdb.SnapshotDate)
+	same := true
+	start := time.Now()
+	for _, v := range vantages[1:] {
+		c := &esimdb.Crawler{BaseURL: srv.URL, Vantage: v}
+		plans, err := c.Crawl(esimdb.SnapshotDate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range plans {
+			if plans[i] != base[i] {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Printf("\nvantage check (%d vantages, %.0f ms): identical catalogs = %v\n",
+		len(vantages), float64(time.Since(start).Milliseconds()), same)
+}

@@ -1,0 +1,115 @@
+// Travelplanner combines the performance and economics sides of the
+// study: for a multi-country itinerary it predicts what the Airalo eSIM
+// will do in each country (architecture, breakout, expected latency and
+// bandwidth) and compares the marketplace price against the local
+// physical-SIM option, producing a per-stop recommendation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roamsim"
+	"roamsim/internal/esimdb"
+	"roamsim/internal/stats"
+)
+
+// The trip: a traveler hops across four of the study's countries.
+var itinerary = []string{"ESP", "TUR", "ARE", "THA"}
+
+func main() {
+	w, err := roamsim.NewWorld(99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	market := roamsim.Marketplace(99, 54)
+	offers := market.Offers(esimdb.SnapshotDate)
+
+	localByCountry := map[string]esimdb.LocalSIMOffer{}
+	for _, o := range esimdb.LocalSIMOffers {
+		localByCountry[o.Country] = o
+	}
+
+	fmt.Println("Trip plan: " + fmt.Sprint(itinerary))
+	fmt.Println()
+
+	// Whole-trip economics via the marketplace API.
+	var stops []esimdb.TripStop
+	for _, iso := range itinerary {
+		stops = append(stops, esimdb.TripStop{Country: iso, GB: 3})
+	}
+	tc := esimdb.PlanTrip(offers, "Airalo", stops)
+	fmt.Printf("whole trip (3 GB per stop): Airalo $%.2f across %d stops; local SIMs $%.2f (%d stops priced)\n\n",
+		tc.ESIMTotalUSD, tc.Covered, tc.LocalTotalUSD, tc.LocalKnown)
+	for _, iso := range itinerary {
+		dep := w.Deployment(iso)
+		if dep == nil {
+			log.Fatalf("no deployment for %s", iso)
+		}
+
+		// Predict the eSIM experience with a few probe sessions.
+		var rtts, downs []float64
+		var arch roamsim.Architecture
+		var breakout string
+		for i := 0; i < 10; i++ {
+			s, err := dep.AttachESIM(w.Rand())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				arch, err = w.ClassifyArchitecture(s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				breakout = fmt.Sprintf("%s (%s)", s.Site.City, s.Provider.Name)
+			}
+			st, err := roamsim.Speedtest(s, w.Rand())
+			if err != nil {
+				log.Fatal(err)
+			}
+			rtts = append(rtts, st.LatencyMs)
+			downs = append(downs, st.DownMbps)
+		}
+		rtt, down := stats.Median(rtts), stats.Median(downs)
+
+		// Cheapest 3 GB-ish Airalo plan for the stop.
+		var bestAiralo *esimdb.Plan
+		for i := range offers {
+			p := &offers[i]
+			if p.Provider != "Airalo" || p.Country != iso || p.SizeGB < 2 || p.SizeGB > 5 {
+				continue
+			}
+			if bestAiralo == nil || p.PerGB() < bestAiralo.PerGB() {
+				bestAiralo = p
+			}
+		}
+
+		fmt.Printf("== %s (%s) ==\n", dep.Country.Name, iso)
+		fmt.Printf("  eSIM: %s via %s, breakout %s\n", arch, dep.BMNO.Name, breakout)
+		fmt.Printf("  expected: %.0f ms RTT, %.1f Mbps down\n", rtt, down)
+		if bestAiralo != nil {
+			fmt.Printf("  Airalo plan: %.0f GB for $%.2f ($%.2f/GB)\n",
+				bestAiralo.SizeGB, bestAiralo.PriceUSD, bestAiralo.PerGB())
+		}
+		if local, ok := localByCountry[iso]; ok {
+			fmt.Printf("  local SIM: %.0f GB for $%.2f total ($%.2f/GB)\n",
+				local.PlanGB, local.TotalUSD(), local.PerGB())
+		}
+		fmt.Printf("  verdict: %s\n\n", verdict(arch, rtt, down, bestAiralo, localByCountry[iso]))
+	}
+}
+
+func verdict(arch roamsim.Architecture, rtt, down float64, airalo *esimdb.Plan, local esimdb.LocalSIMOffer) string {
+	switch {
+	case arch == roamsim.HR && rtt > 150:
+		return "AVOID the eSIM for latency-sensitive use: home-routed via Singapore. Buy a local SIM."
+	case arch == roamsim.Native:
+		return "eSIM is native here — performance matches a local SIM; pick by price."
+	case airalo != nil && local.PlanGB > 0 && local.TotalUSD() > airalo.PriceUSD:
+		return "eSIM wins on total cost for a short stay, despite the roaming detour."
+	case down < 10:
+		return "Throttled roaming bandwidth; fine for maps and messaging, poor for video."
+	default:
+		return "eSIM is convenient and adequate; local SIM is cheaper per GB if you stay longer."
+	}
+}

@@ -1,0 +1,3 @@
+module roamsim
+
+go 1.22

@@ -1,0 +1,294 @@
+package airalo
+
+import "roamsim/internal/mno"
+
+// breakoutRef names a (provider, site) option for a deployment's eSIM.
+type breakoutRef struct {
+	Provider string
+	SiteCity string
+	Weight   float64
+}
+
+// DeploymentSpec is the full per-country configuration: who serves the
+// eSIM and SIM, where traffic breaks out (Table 2 ground truth), and the
+// network-quality parameters that calibrate the figures.
+//
+// Latency structure emerges from geography plus the tunnel penalties;
+// throughput is governed by the v-MNO policy caps, which is the paper's
+// central bandwidth finding.
+type DeploymentSpec struct {
+	ISO3     string
+	City     string // volunteer/measurement city
+	VMNOName string
+	BMNOName string // issuer of the Airalo eSIM
+	// Breakouts restrict the b-MNO agreement for this visited country
+	// (Saudi Arabia: Packet Host only; USA: Webbing Dallas; ...).
+	Breakouts []breakoutRef
+	InWeb     bool
+	InDevice  bool
+	// SIMOperator is the physical-SIM operator (device campaign only).
+	SIMOperator string
+
+	// VMNOPrivateHops / SIMPrivateHops are private hops inside the
+	// visited network before IPX ingress (eSIM) or before the local
+	// operator's PGW (SIM).
+	VMNOPrivateHops int
+	SIMPrivateHops  int
+
+	// TunnelPenaltyMs adds one-way latency on the GTP path to a given
+	// provider, modeling interconnection-agreement quality (the
+	// UAE-vs-Pakistan and Georgia-vs-Germany effects).
+	TunnelPenaltyMs map[string]float64
+	// SIMPeeringPenaltyMs burdens the local operator's public peering.
+	SIMPeeringPenaltyMs float64
+
+	RadioESIM mno.RadioConditions
+	RadioSIM  mno.RadioConditions
+
+	// Policy caps in Mbps (down/up) for each configuration.
+	ESIMDown, ESIMUp float64
+	SIMDown, SIMUp   float64
+	// YouTube-specific caps (0 = none): the traffic-differentiation
+	// conjecture for the HR b-MNOs and several v-MNOs.
+	YouTubeCapESIM, YouTubeCapSIM float64
+	// CDN edge cache hit rates per configuration (0 = default 0.95).
+	CDNHitESIM, CDNHitSIM float64
+	// Per-path loss probabilities.
+	LossESIM, LossSIM float64
+}
+
+// deploymentSpecs cover all 24 visited countries of the two campaigns
+// (Table 2): 21 roaming eSIMs from six b-MNOs plus three native eSIMs.
+var deploymentSpecs = []DeploymentSpec{
+	// ---- Device campaign (Table 4) ----
+	{
+		ISO3: "GEO", City: "Tbilisi", VMNOName: "Magti", BMNOName: "Play",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InDevice:  true, SIMOperator: "Magti",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 24, "OVH SAS": 6},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.75, MeanCQI: 11},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.75, MeanCQI: 11},
+		ESIMDown:        31.7, ESIMUp: 6, SIMDown: 42, SIMUp: 18,
+		YouTubeCapESIM: 5.1, YouTubeCapSIM: 5.1,
+		LossESIM: 0.004, LossSIM: 0.002,
+	},
+	{
+		ISO3: "DEU", City: "Berlin", VMNOName: "O2 Germany", BMNOName: "Play",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InDevice:  true, SIMOperator: "O2 Germany",
+		VMNOPrivateHops: 2, SIMPrivateHops: 4,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 3, "OVH SAS": 16},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.6, MeanCQI: 10},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.6, MeanCQI: 10},
+		ESIMDown:        22.7, ESIMUp: 8, SIMDown: 13.6, SIMUp: 9,
+		YouTubeCapESIM: 4.7, YouTubeCapSIM: 5.3,
+		LossESIM: 0.003, LossSIM: 0.002,
+	},
+	{
+		ISO3: "KOR", City: "Seoul", VMNOName: "LG U+", BMNOName: "LG U+",
+		InDevice: true, SIMOperator: "U+ UMobile",
+		VMNOPrivateHops: 6, SIMPrivateHops: 7,
+		RadioESIM: mno.RadioConditions{FiveGShare: 0.85, MeanCQI: 12},
+		RadioSIM:  mno.RadioConditions{FiveGShare: 0.85, MeanCQI: 12},
+		ESIMDown:  65, ESIMUp: 25, SIMDown: 38, SIMUp: 16,
+		YouTubeCapESIM: 5.2, YouTubeCapSIM: 9.8,
+		LossESIM: 0.001, LossSIM: 0.002,
+	},
+	{
+		ISO3: "PAK", City: "Islamabad", VMNOName: "Jazz", BMNOName: "Singtel",
+		Breakouts: []breakoutRef{{"Singtel", "Singapore", 1}},
+		InWeb:     true, InDevice: true, SIMOperator: "Jazz",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs:     map[string]float64{"Singtel": 150},
+		SIMPeeringPenaltyMs: 8,
+		RadioESIM:           mno.RadioConditions{FiveGShare: 0.2, MeanCQI: 9},
+		RadioSIM:            mno.RadioConditions{FiveGShare: 0.2, MeanCQI: 9},
+		ESIMDown:            5.5, ESIMUp: 2, SIMDown: 7.9, SIMUp: 6,
+		YouTubeCapESIM: 4.5, YouTubeCapSIM: 4.5,
+		LossESIM: 0.012, LossSIM: 0.004,
+	},
+	{
+		ISO3: "QAT", City: "Doha", VMNOName: "Ooredoo Qatar", BMNOName: "Telna Mobile",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InDevice:  true, SIMOperator: "Ooredoo Qatar",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 8, "OVH SAS": 9},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.8, MeanCQI: 11},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.8, MeanCQI: 11},
+		ESIMDown:        12, ESIMUp: 7, SIMDown: 62, SIMUp: 24,
+		YouTubeCapESIM: 4.6, YouTubeCapSIM: 5.4,
+		LossESIM: 0.004, LossSIM: 0.002,
+	},
+	{
+		ISO3: "SAU", City: "Riyadh", VMNOName: "STC", BMNOName: "Telna Mobile",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}}, // PH only
+		InDevice:  true, SIMOperator: "STC",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 10},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.85, MeanCQI: 12},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.85, MeanCQI: 12},
+		ESIMDown:        13, ESIMUp: 8, SIMDown: 137.2, SIMUp: 30,
+		YouTubeCapESIM: 4.5, YouTubeCapSIM: 5.5,
+		LossESIM: 0.004, LossSIM: 0.001,
+	},
+	{
+		ISO3: "ESP", City: "Madrid", VMNOName: "Movistar", BMNOName: "Play",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InDevice:  true, SIMOperator: "Movistar",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 3, "OVH SAS": 14},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.7, MeanCQI: 11},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.7, MeanCQI: 11},
+		ESIMDown:        11.2, ESIMUp: 6, SIMDown: 70, SIMUp: 28,
+		YouTubeCapESIM: 4.7, YouTubeCapSIM: 5.3,
+		LossESIM: 0.003, LossSIM: 0.002,
+	},
+	{
+		ISO3: "THA", City: "Bangkok", VMNOName: "dtac", BMNOName: "dtac",
+		InDevice: true, SIMOperator: "dtac",
+		VMNOPrivateHops: 4, SIMPrivateHops: 4,
+		RadioESIM: mno.RadioConditions{FiveGShare: 0.55, MeanCQI: 10},
+		RadioSIM:  mno.RadioConditions{FiveGShare: 0.55, MeanCQI: 10},
+		ESIMDown:  26, ESIMUp: 12, SIMDown: 28, SIMUp: 13,
+		YouTubeCapESIM: 5.3, YouTubeCapSIM: 5.1,
+		CDNHitESIM: 1.0, CDNHitSIM: 0.923, // the Thailand MISS asymmetry
+		LossESIM: 0.003, LossSIM: 0.003,
+	},
+	{
+		ISO3: "ARE", City: "Dubai", VMNOName: "Etisalat", BMNOName: "Singtel",
+		Breakouts: []breakoutRef{{"Singtel", "Singapore", 1}},
+		InDevice:  true, SIMOperator: "Etisalat",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs: map[string]float64{"Singtel": 55}, // better peering than Jazz
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.8, MeanCQI: 12},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.8, MeanCQI: 12},
+		ESIMDown:        9, ESIMUp: 5, SIMDown: 8.3, SIMUp: 7,
+		YouTubeCapESIM: 4.5, YouTubeCapSIM: 4.5,
+		LossESIM: 0.006, LossSIM: 0.002,
+	},
+	{
+		ISO3: "GBR", City: "London", VMNOName: "UK Partner MNO", BMNOName: "Play",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InDevice:  true, SIMOperator: "UK Partner MNO",
+		VMNOPrivateHops: 2, SIMPrivateHops: 3,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 3, "OVH SAS": 12},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.65, MeanCQI: 11},
+		RadioSIM:        mno.RadioConditions{FiveGShare: 0.65, MeanCQI: 11},
+		ESIMDown:        20, ESIMUp: 9, SIMDown: 46, SIMUp: 17,
+		YouTubeCapESIM: 4.8, YouTubeCapSIM: 5.3,
+		LossESIM: 0.003, LossSIM: 0.002,
+	},
+	// ---- Web campaign only (Table 3) ----
+	{
+		ISO3: "ITA", City: "Rome", VMNOName: "WindTre", BMNOName: "Orange",
+		Breakouts: []breakoutRef{{"Webbing USA", "Amsterdam", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Webbing USA": 6},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.6, MeanCQI: 11},
+		ESIMDown:        20, ESIMUp: 8, LossESIM: 0.003,
+	},
+	{
+		ISO3: "CHN", City: "Beijing", VMNOName: "China Unicom", BMNOName: "Singtel",
+		Breakouts: []breakoutRef{{"Singtel", "Singapore", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Singtel": 35},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.7, MeanCQI: 11},
+		ESIMDown:        10, ESIMUp: 4, LossESIM: 0.008,
+	},
+	{
+		ISO3: "MDA", City: "Chisinau", VMNOName: "Moldcell", BMNOName: "Telecom Italia",
+		Breakouts: []breakoutRef{{"Wireless Logic", "London", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Wireless Logic": 8},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.4, MeanCQI: 10},
+		ESIMDown:        12, ESIMUp: 5, LossESIM: 0.004,
+	},
+	{
+		ISO3: "FRA", City: "Paris", VMNOName: "Orange France", BMNOName: "Polkomtel",
+		Breakouts: []breakoutRef{{"Packet Host", "Ashburn", 1}}, // Virginia!
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 5},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.7, MeanCQI: 12},
+		ESIMDown:        29, ESIMUp: 11, LossESIM: 0.003,
+	},
+	{
+		ISO3: "AZE", City: "Baku", VMNOName: "Azercell", BMNOName: "Telecom Italia",
+		Breakouts: []breakoutRef{{"Wireless Logic", "London", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Wireless Logic": 6},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.5, MeanCQI: 11},
+		ESIMDown:        18, ESIMUp: 7, LossESIM: 0.004,
+	},
+	{
+		ISO3: "MDV", City: "Male", VMNOName: "Ooredoo Maldives", BMNOName: "Ooredoo Maldives",
+		InWeb: true, VMNOPrivateHops: 3,
+		RadioESIM: mno.RadioConditions{FiveGShare: 0.3, MeanCQI: 10},
+		ESIMDown:  20, ESIMUp: 9, LossESIM: 0.004,
+	},
+	{
+		ISO3: "MYS", City: "Kuala Lumpur", VMNOName: "Maxis", BMNOName: "Singtel",
+		Breakouts: []breakoutRef{{"Singtel", "Singapore", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Singtel": 10},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.55, MeanCQI: 11},
+		ESIMDown:        15, ESIMUp: 6, LossESIM: 0.003,
+	},
+	{
+		ISO3: "KEN", City: "Nairobi", VMNOName: "Safaricom", BMNOName: "Telecom Italia",
+		Breakouts: []breakoutRef{{"Wireless Logic", "London", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Wireless Logic": 12},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.3, MeanCQI: 9},
+		ESIMDown:        10, ESIMUp: 4, LossESIM: 0.006,
+	},
+	{
+		ISO3: "USA", City: "New York", VMNOName: "T-Mobile US", BMNOName: "Orange",
+		Breakouts: []breakoutRef{{"Webbing USA", "Dallas", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Webbing USA": 4},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.8, MeanCQI: 12},
+		ESIMDown:        22, ESIMUp: 9, LossESIM: 0.002,
+	},
+	{
+		ISO3: "FIN", City: "Helsinki", VMNOName: "Elisa", BMNOName: "Telecom Italia",
+		Breakouts: []breakoutRef{{"Wireless Logic", "London", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Wireless Logic": 5},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.8, MeanCQI: 12},
+		ESIMDown:        25, ESIMUp: 11, LossESIM: 0.002,
+	},
+	{
+		ISO3: "EGY", City: "Cairo", VMNOName: "Vodafone Egypt", BMNOName: "Telna Mobile",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 12, "OVH SAS": 12},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.3, MeanCQI: 10},
+		ESIMDown:        9, ESIMUp: 4, LossESIM: 0.005,
+	},
+	{
+		ISO3: "TUR", City: "Istanbul", VMNOName: "Turkcell", BMNOName: "Telna Mobile",
+		Breakouts: []breakoutRef{{"Packet Host", "Amsterdam", 1}, {"OVH SAS", "Lille", 1}},
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 7, "OVH SAS": 8},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.6, MeanCQI: 11},
+		ESIMDown:        14, ESIMUp: 6, LossESIM: 0.003,
+	},
+	{
+		ISO3: "UZB", City: "Tashkent", VMNOName: "Beeline UZ", BMNOName: "Polkomtel",
+		Breakouts: []breakoutRef{{"Packet Host", "Ashburn", 1}}, // Virginia again
+		InWeb:     true, VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Packet Host": 15},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.35, MeanCQI: 10},
+		ESIMDown:        15, ESIMUp: 5, LossESIM: 0.005,
+	},
+	// ---- Table 2 only (no campaign tables, measured opportunistically) ----
+	{
+		ISO3: "JPN", City: "Tokyo", VMNOName: "SoftBank", BMNOName: "Singtel",
+		Breakouts:       []breakoutRef{{"Singtel", "Singapore", 1}},
+		VMNOPrivateHops: 2,
+		TunnelPenaltyMs: map[string]float64{"Singtel": 12},
+		RadioESIM:       mno.RadioConditions{FiveGShare: 0.85, MeanCQI: 12},
+		ESIMDown:        28, ESIMUp: 12, LossESIM: 0.002,
+	},
+}

@@ -1,0 +1,142 @@
+// Package airalo assembles the full simulated world of the paper: the
+// 24 visited-country deployments, the six b-MNOs that provision Airalo's
+// roaming eSIMs, the three native issuers, the PGW providers and their
+// breakout agreements (Table 2), the physical-SIM operators of the
+// device campaign, the public internet (Google, Facebook, Ookla, five
+// CDNs, Google DNS anycast), and the emnify validation operator of
+// Section 4.3.1.
+//
+// Everything is wired into one netsim.Network + ipreg.Registry so that
+// the measurement tools observe the same signals the paper's campaigns
+// did, and the core tomography package can re-derive Table 2 from
+// measurements alone.
+package airalo
+
+import (
+	"fmt"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/mno"
+)
+
+// OperatorSpec declares one operator to create.
+type OperatorSpec struct {
+	Name    string
+	MCC     string
+	MNC     string
+	Country string // ISO3
+	ASN     ipreg.ASN
+	Prefix  string // public address space (CIDR)
+	MVNO    bool
+	Parent  string
+}
+
+// bMNOSpecs are Airalo's issuing operators: the six roaming b-MNOs of
+// Table 2 and the three native issuers. ASNs cited in the paper are
+// real; others are plausible stand-ins.
+var bMNOSpecs = []OperatorSpec{
+	{Name: "Singtel", MCC: "525", MNC: "01", Country: "SGP", ASN: 45143, Prefix: "202.166.0.0/16"},
+	{Name: "Play", MCC: "260", MNC: "06", Country: "POL", ASN: 12912, Prefix: "77.252.0.0/16"},
+	{Name: "Telna Mobile", MCC: "310", MNC: "240", Country: "USA", ASN: 19893, Prefix: "66.209.0.0/16"},
+	{Name: "Telecom Italia", MCC: "222", MNC: "01", Country: "ITA", ASN: 3269, Prefix: "151.5.0.0/16"},
+	{Name: "Orange", MCC: "208", MNC: "01", Country: "FRA", ASN: 3215, Prefix: "80.10.0.0/16"},
+	{Name: "Polkomtel", MCC: "260", MNC: "01", Country: "POL", ASN: 8374, Prefix: "212.2.0.0/16"},
+	// Native issuers (v-MNO == b-MNO in their countries).
+	{Name: "LG U+", MCC: "450", MNC: "06", Country: "KOR", ASN: 17858, Prefix: "106.102.0.0/16"},
+	{Name: "Ooredoo Maldives", MCC: "472", MNC: "02", Country: "MDV", ASN: 23889, Prefix: "103.120.0.0/16"},
+	{Name: "dtac", MCC: "520", MNC: "05", Country: "THA", ASN: 9587, Prefix: "1.46.0.0/16"},
+}
+
+// vMNOSpecs are the visited operators (one per visited country). For
+// device-campaign countries the physical SIM is from the same operator,
+// except Korea where the SIM is the U+ UMobile MVNO (handled below).
+var vMNOSpecs = []OperatorSpec{
+	{Name: "Etisalat", MCC: "424", MNC: "02", Country: "ARE", ASN: 5384, Prefix: "94.200.0.0/16"},
+	{Name: "SoftBank", MCC: "440", MNC: "20", Country: "JPN", ASN: 17676, Prefix: "126.0.0.0/16"},
+	{Name: "Jazz", MCC: "410", MNC: "01", Country: "PAK", ASN: 45669, Prefix: "119.155.0.0/16"},
+	{Name: "Maxis", MCC: "502", MNC: "12", Country: "MYS", ASN: 9534, Prefix: "175.139.0.0/16"},
+	{Name: "China Unicom", MCC: "460", MNC: "01", Country: "CHN", ASN: 4837, Prefix: "112.96.0.0/16"},
+	{Name: "UK Partner MNO", MCC: "234", MNC: "15", Country: "GBR", ASN: 12576, Prefix: "82.132.0.0/16"},
+	{Name: "O2 Germany", MCC: "262", MNC: "07", Country: "DEU", ASN: 6805, Prefix: "89.204.0.0/16"},
+	{Name: "Magti", MCC: "282", MNC: "02", Country: "GEO", ASN: 16010, Prefix: "212.72.0.0/16"},
+	{Name: "Movistar", MCC: "214", MNC: "07", Country: "ESP", ASN: 3352, Prefix: "83.32.0.0/16"},
+	{Name: "Ooredoo Qatar", MCC: "427", MNC: "01", Country: "QAT", ASN: 8781, Prefix: "78.100.0.0/16"},
+	{Name: "STC", MCC: "420", MNC: "01", Country: "SAU", ASN: 25019, Prefix: "84.235.0.0/16"},
+	{Name: "Turkcell", MCC: "286", MNC: "01", Country: "TUR", ASN: 16135, Prefix: "178.240.0.0/16"},
+	{Name: "Vodafone Egypt", MCC: "602", MNC: "02", Country: "EGY", ASN: 24863, Prefix: "41.232.0.0/16"},
+	{Name: "Moldcell", MCC: "259", MNC: "02", Country: "MDA", ASN: 31252, Prefix: "188.244.0.0/16"},
+	{Name: "Safaricom", MCC: "639", MNC: "02", Country: "KEN", ASN: 33771, Prefix: "105.160.0.0/16"},
+	{Name: "Elisa", MCC: "244", MNC: "05", Country: "FIN", ASN: 719, Prefix: "85.76.0.0/16"},
+	{Name: "Azercell", MCC: "400", MNC: "01", Country: "AZE", ASN: 31721, Prefix: "109.205.0.0/16"},
+	{Name: "WindTre", MCC: "222", MNC: "88", Country: "ITA", ASN: 1267, Prefix: "151.68.0.0/16"},
+	{Name: "T-Mobile US", MCC: "310", MNC: "260", Country: "USA", ASN: 21928, Prefix: "172.58.0.0/16"},
+	{Name: "Orange France", MCC: "208", MNC: "02", Country: "FRA", ASN: 3216, Prefix: "92.184.0.0/16"},
+	{Name: "Beeline UZ", MCC: "434", MNC: "04", Country: "UZB", ASN: 41202, Prefix: "213.230.0.0/16"},
+	// Native countries: the v-MNO is the b-MNO itself (LG U+, Ooredoo
+	// Maldives, dtac) — no separate entry needed.
+	// Korea's physical SIM: an MVNO riding LG UPlus.
+	{Name: "U+ UMobile", MCC: "450", MNC: "16", Country: "KOR", ASN: 38661, Prefix: "61.43.0.0/16", MVNO: true, Parent: "LG U+"},
+	// emnify validation (Section 4.3.1).
+	{Name: "O2 UK", MCC: "234", MNC: "10", Country: "GBR", ASN: 35228, Prefix: "82.1.0.0/16"},
+	{Name: "emnify", MCC: "901", MNC: "43", Country: "DEU", ASN: 208150, Prefix: "185.57.0.0/16"},
+}
+
+// transitSpecs are the transit carriers visible in the complex public
+// paths of Section 4.3.3.
+var transitSpecs = []OperatorSpec{
+	{Name: "Telefonica Global Solution", MCC: "", MNC: "", Country: "ESP", ASN: 12956, Prefix: "94.142.0.0/16"},
+	{Name: "LINKdotNET Telecom", MCC: "", MNC: "", Country: "PAK", ASN: 23966, Prefix: "203.175.0.0/16"},
+	{Name: "Transworld Associates", MCC: "", MNC: "", Country: "PAK", ASN: 38193, Prefix: "203.130.0.0/16"},
+	{Name: "Singtel Global", MCC: "", MNC: "", Country: "SGP", ASN: 7473, Prefix: "203.208.0.0/16"},
+}
+
+// buildOperators registers all operators in the registry and returns
+// them by name. Each operator's prefix is registered at its home city.
+func buildOperators(reg *ipreg.Registry) (map[string]*mno.Operator, error) {
+	ops := make(map[string]*mno.Operator)
+	add := func(spec OperatorSpec, kind ipreg.OrgKind) error {
+		if _, dup := ops[spec.Name]; dup {
+			return fmt.Errorf("airalo: duplicate operator %s", spec.Name)
+		}
+		country, err := geo.LookupCountry(spec.Country)
+		if err != nil {
+			return fmt.Errorf("airalo: operator %s: %w", spec.Name, err)
+		}
+		op := &mno.Operator{
+			Name:    spec.Name,
+			PLMN:    mno.PLMN{MCC: spec.MCC, MNC: spec.MNC},
+			Country: spec.Country,
+			ASN:     spec.ASN,
+			MVNO:    spec.MVNO,
+			Parent:  spec.Parent,
+		}
+		reg.RegisterAS(ipreg.AS{Number: spec.ASN, Org: spec.Name, Country: spec.Country, Kind: kind})
+		prefix, err := ipaddr.ParsePrefix(spec.Prefix)
+		if err != nil {
+			return fmt.Errorf("airalo: operator %s: %w", spec.Name, err)
+		}
+		if err := reg.RegisterPrefix(prefix, spec.ASN, country.Capital, spec.Country, country.Center); err != nil {
+			return err
+		}
+		ops[spec.Name] = op
+		return nil
+	}
+	for _, s := range bMNOSpecs {
+		if err := add(s, ipreg.KindMNO); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range vMNOSpecs {
+		if err := add(s, ipreg.KindMNO); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range transitSpecs {
+		if err := add(s, ipreg.KindTransit); err != nil {
+			return nil, err
+		}
+	}
+	return ops, nil
+}

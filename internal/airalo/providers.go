@@ -1,0 +1,170 @@
+package airalo
+
+import (
+	"fmt"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/ipx"
+)
+
+// pgwProviderSpec declares one PGW provider and its sites.
+type pgwProviderSpec struct {
+	Name        string
+	ASN         ipreg.ASN
+	Kind        ipreg.OrgKind
+	Prefix      string // address space for PGWs and NAT pools
+	Policy      ipx.AssignmentPolicy
+	PrivateHops int // provider-core private hops between IPX ingress and PGW
+	CGNATSilent bool
+	Sites       []pgwSiteSpec
+}
+
+type pgwSiteSpec struct {
+	City    string
+	Country string
+	NumPGWs int
+	// ExplicitAddrs overrides allocation (Singtel's documented
+	// 202.166.126.0/24 block).
+	ExplicitAddrs []string
+}
+
+// pgwProviderSpecs encode the infrastructure of Table 2 plus emnify's
+// validation provider. PrivateHops values are tuned so total private
+// path lengths land near Figure 7 (OVH reached in ~3 hops, Packet Host
+// in 6-7, Singtel HR in ~8 given the visited network's own 2 hops).
+var pgwProviderSpecs = []pgwProviderSpec{
+	{
+		Name: "Singtel", ASN: 45143, Kind: ipreg.KindMNO,
+		Prefix: "202.166.126.0/24", Policy: ipx.AssignUniform, PrivateHops: 5,
+		Sites: []pgwSiteSpec{{
+			City: "Singapore", Country: "SGP", NumPGWs: 4,
+			ExplicitAddrs: []string{"202.166.126.4", "202.166.126.12", "202.166.126.35", "202.166.126.77"},
+		}},
+	},
+	{
+		Name: "Packet Host", ASN: 54825, Kind: ipreg.KindIPX,
+		Prefix: "147.75.0.0/16", Policy: ipx.AssignUniform, PrivateHops: 4,
+		CGNATSilent: true,
+		Sites: []pgwSiteSpec{
+			{City: "Amsterdam", Country: "NLD", NumPGWs: 2},
+			{City: "Ashburn", Country: "USA", NumPGWs: 2},
+		},
+	},
+	{
+		Name: "OVH SAS", ASN: 16276, Kind: ipreg.KindCloud,
+		Prefix: "51.38.0.0/16", Policy: ipx.AssignPerBMNO, PrivateHops: 1,
+		Sites: []pgwSiteSpec{
+			{City: "Lille", Country: "FRA", NumPGWs: 5},
+			{City: "Wattrelos", Country: "FRA", NumPGWs: 1},
+		},
+	},
+	{
+		Name: "Wireless Logic", ASN: 51320, Kind: ipreg.KindIPX,
+		Prefix: "94.76.0.0/16", Policy: ipx.AssignSticky, PrivateHops: 3,
+		Sites: []pgwSiteSpec{{City: "London", Country: "GBR", NumPGWs: 2}},
+	},
+	{
+		Name: "Webbing USA", ASN: 393559, Kind: ipreg.KindIPX,
+		Prefix: "158.51.0.0/16", Policy: ipx.AssignUniform, PrivateHops: 3,
+		Sites: []pgwSiteSpec{
+			{City: "Amsterdam", Country: "NLD", NumPGWs: 1},
+			{City: "Dallas", Country: "USA", NumPGWs: 1},
+		},
+	},
+	{
+		Name: "Amazon.com, Inc.", ASN: 16509, Kind: ipreg.KindCloud,
+		Prefix: "3.248.0.0/16", Policy: ipx.AssignUniform, PrivateHops: 2,
+		Sites: []pgwSiteSpec{{City: "Dublin", Country: "IRL", NumPGWs: 2}},
+	},
+}
+
+// builtProvider bundles the ipx provider with its allocators for NAT
+// pools (used to hand out device public IPs per site).
+type builtProvider struct {
+	Provider *ipx.PGWProvider
+	// natAlloc allocates device-visible public addresses per site city.
+	natAlloc map[string]*ipaddr.Allocator
+}
+
+// buildProviders creates the PGW providers and registers their address
+// space. Each site's PGW addresses and NAT pool are registered at the
+// site's city, so ipinfo-style lookups geolocate breakouts correctly.
+func buildProviders(reg *ipreg.Registry) (map[string]*builtProvider, error) {
+	out := make(map[string]*builtProvider)
+	for _, spec := range pgwProviderSpecs {
+		if _, dup := out[spec.Name]; dup {
+			return nil, fmt.Errorf("airalo: duplicate provider %s", spec.Name)
+		}
+		// Singtel's AS is already registered by buildOperators; providers
+		// like Packet Host register theirs here.
+		if _, ok := reg.LookupAS(spec.ASN); !ok {
+			reg.RegisterAS(ipreg.AS{Number: spec.ASN, Org: spec.Name, Country: firstSiteCountry(spec), Kind: spec.Kind})
+		}
+		parent, err := ipaddr.ParsePrefix(spec.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("airalo: provider %s: %w", spec.Name, err)
+		}
+		alloc := ipaddr.NewAllocator(parent)
+		p := &ipx.PGWProvider{
+			Name: spec.Name, ASN: spec.ASN, Policy: spec.Policy,
+			PrivateHops: spec.PrivateHops, CGNATSilent: spec.CGNATSilent,
+		}
+		bp := &builtProvider{Provider: p, natAlloc: map[string]*ipaddr.Allocator{}}
+		for _, siteSpec := range spec.Sites {
+			city, err := geo.LookupCity(siteSpec.City)
+			if err != nil {
+				return nil, fmt.Errorf("airalo: provider %s: %w", spec.Name, err)
+			}
+			site := ipx.PGWSite{City: city.Name, Country: siteSpec.Country, Loc: city.Loc}
+			if len(siteSpec.ExplicitAddrs) > 0 {
+				// The whole parent prefix geolocates at this site.
+				reg.MustRegisterPrefix(parent, spec.ASN, city.Name, siteSpec.Country, city.Loc)
+				for _, s := range siteSpec.ExplicitAddrs {
+					site.Addrs = append(site.Addrs, ipaddr.MustParse(s))
+				}
+				bp.natAlloc[city.Name] = alloc
+			} else {
+				sitePrefix, err := alloc.NextPrefix(24)
+				if err != nil {
+					return nil, fmt.Errorf("airalo: provider %s site %s: %w", spec.Name, siteSpec.City, err)
+				}
+				reg.MustRegisterPrefix(sitePrefix, spec.ASN, city.Name, siteSpec.Country, city.Loc)
+				siteAlloc := ipaddr.NewAllocator(sitePrefix)
+				for i := 0; i < siteSpec.NumPGWs; i++ {
+					site.Addrs = append(site.Addrs, siteAlloc.MustNextAddr())
+				}
+				bp.natAlloc[city.Name] = siteAlloc
+			}
+			p.Sites = append(p.Sites, site)
+		}
+		out[spec.Name] = bp
+	}
+	// OVH pins issuers to address subsets (Section 4.3.2): Telna Mobile
+	// always lands on one Lille address, Play rotates over the rest.
+	ovh := out["OVH SAS"].Provider
+	lille := ovh.Sites[0]
+	ovh.Assignments = map[string][]ipaddr.Addr{
+		"Telna Mobile": {lille.Addrs[0]},
+		"Play":         append(append([]ipaddr.Addr(nil), lille.Addrs[1:]...), ovh.Sites[1].Addrs...),
+	}
+	return out, nil
+}
+
+func firstSiteCountry(spec pgwProviderSpec) string {
+	if len(spec.Sites) > 0 {
+		return spec.Sites[0].Country
+	}
+	return "USA"
+}
+
+// NATAddr allocates a device-visible public IP at a provider site — the
+// address a speedtest or web campaign logs for the session.
+func (bp *builtProvider) NATAddr(city string) (ipaddr.Addr, error) {
+	al, ok := bp.natAlloc[city]
+	if !ok {
+		return 0, fmt.Errorf("airalo: provider %s has no NAT pool in %s", bp.Provider.Name, city)
+	}
+	return al.NextAddr()
+}

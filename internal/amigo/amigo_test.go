@@ -1,0 +1,258 @@
+package amigo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"roamsim/internal/airalo"
+	"roamsim/internal/rng"
+)
+
+var sharedWorld *airalo.World
+
+func world(t *testing.T) *airalo.World {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := airalo.Build(21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld = w
+	}
+	return sharedWorld
+}
+
+func testbed(t *testing.T, iso string) (*Server, *Endpoint, func()) {
+	t.Helper()
+	fixed := time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)
+	srv := NewServer(func() time.Time { return fixed })
+	hs := httptest.NewServer(srv.Handler())
+	ep := NewEndpoint("me-"+iso, hs.URL, world(t).Deployments[iso], rng.New(5))
+	return srv, ep, hs.Close
+}
+
+func TestRegisterAndHeartbeat(t *testing.T) {
+	srv, ep, done := testbed(t, "PAK")
+	defer done()
+	if err := ep.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.MEs(); len(got) != 1 || got[0] != "me-PAK" {
+		t.Fatalf("MEs = %v", got)
+	}
+	if err := ep.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := srv.Vitals("me-PAK")
+	if !ok {
+		t.Fatal("vitals missing")
+	}
+	if v.CQI < 1 || v.CQI > 15 || v.Battery <= 0 {
+		t.Errorf("implausible vitals: %+v", v)
+	}
+	if v.RAT != "4G" && v.RAT != "5G" {
+		t.Errorf("RAT = %s", v.RAT)
+	}
+}
+
+func TestScheduleRequiresRegistration(t *testing.T) {
+	srv, _, done := testbed(t, "PAK")
+	defer done()
+	if _, err := srv.Schedule("ghost", Task{Kind: "speedtest", Config: "esim"}); err == nil {
+		t.Error("scheduling to unknown ME should fail")
+	}
+}
+
+func TestTaskRoundTripAllKinds(t *testing.T) {
+	srv, ep, done := testbed(t, "DEU")
+	defer done()
+	if err := ep.Register(); err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{
+		{Kind: "speedtest", Config: "esim"},
+		{Kind: "speedtest", Config: "sim"},
+		{Kind: "mtr", Target: "Google", Config: "esim"},
+		{Kind: "mtr", Target: "Facebook", Config: "sim"},
+		{Kind: "cdn", Target: "Cloudflare", Config: "esim"},
+		{Kind: "dns", Config: "sim"},
+		{Kind: "video", Config: "esim"},
+	}
+	for _, task := range tasks {
+		if _, err := srv.Schedule("me-DEU", task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		more, err := ep.RunOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	results := srv.Results()
+	if len(results) != len(tasks) {
+		t.Fatalf("results = %d, want %d", len(results), len(tasks))
+	}
+	for i, r := range results {
+		if !r.OK {
+			t.Errorf("task %d (%s) failed: %s", i, r.Kind, r.Error)
+		}
+		if len(r.Payload) == 0 {
+			t.Errorf("task %d has empty payload", i)
+		}
+	}
+	// Spot-check a payload: the speedtest carries a public IP and caps.
+	var st SpeedtestPayload
+	if err := json.Unmarshal(results[0].Payload, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DownMbps <= 0 || st.PublicIP == "" {
+		t.Errorf("bad speedtest payload: %+v", st)
+	}
+	// And an mtr payload: multiple hops, at least one with an address.
+	var mtr MTRPayload
+	if err := json.Unmarshal(results[2].Payload, &mtr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mtr.Hops) < 4 {
+		t.Errorf("mtr hops = %d", len(mtr.Hops))
+	}
+	withAddr := 0
+	for _, h := range mtr.Hops {
+		if h.Addr != "" {
+			withAddr++
+		}
+	}
+	if withAddr == 0 {
+		t.Error("no responding hops in mtr payload")
+	}
+}
+
+func TestUnknownTaskKindReported(t *testing.T) {
+	srv, ep, done := testbed(t, "PAK")
+	defer done()
+	ep.Register()
+	srv.Schedule("me-PAK", Task{Kind: "teleport", Config: "esim"})
+	if _, err := ep.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	rs := srv.Results()
+	if len(rs) != 1 || rs[0].OK || rs[0].Error == "" {
+		t.Errorf("bad error result: %+v", rs)
+	}
+}
+
+func TestSIMTaskOnWebOnlyCountryFails(t *testing.T) {
+	srv, ep, done := testbed(t, "FRA") // web campaign: eSIM only
+	defer done()
+	ep.Register()
+	srv.Schedule("me-FRA", Task{Kind: "speedtest", Config: "sim"})
+	if _, err := ep.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	rs := srv.Results()
+	if rs[0].OK {
+		t.Error("SIM task in a web-only country should fail (no physical SIM)")
+	}
+}
+
+func TestEmptyQueueReturnsNoTask(t *testing.T) {
+	_, ep, done := testbed(t, "PAK")
+	defer done()
+	ep.Register()
+	more, err := ep.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more {
+		t.Error("empty queue should report no more tasks")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/v1/tasks?me=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown ME tasks: HTTP %d, want 404", resp.StatusCode)
+	}
+	resp, err = hs.Client().Post(hs.URL+"/v1/register", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("empty register: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestConcurrentEndpoints(t *testing.T) {
+	// Several MEs in different countries share one control server, as in
+	// the real campaign; results must all arrive and stay attributed.
+	fixed := time.Date(2024, 3, 2, 9, 0, 0, 0, time.UTC)
+	srv := NewServer(func() time.Time { return fixed })
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	countries := []string{"PAK", "DEU", "THA", "GEO"}
+	const tasksPer = 3
+	done := make(chan error, len(countries))
+	for i, iso := range countries {
+		ep := NewEndpoint("me-"+iso, hs.URL, world(t).Deployments[iso], rng.New(int64(100+i)))
+		if err := ep.Register(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < tasksPer; j++ {
+			if _, err := srv.Schedule("me-"+iso, Task{Kind: "speedtest", Config: "esim"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		go func(e *Endpoint) {
+			for {
+				more, err := e.RunOnce()
+				if err != nil {
+					done <- err
+					return
+				}
+				if !more {
+					done <- nil
+					return
+				}
+			}
+		}(ep)
+	}
+	for range countries {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := srv.Results()
+	if len(results) != len(countries)*tasksPer {
+		t.Fatalf("results = %d, want %d", len(results), len(countries)*tasksPer)
+	}
+	perME := map[string]int{}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("failed result: %+v", r)
+		}
+		perME[r.ME]++
+		if r.Uploaded != fixed {
+			t.Error("server clock not applied to upload time")
+		}
+	}
+	for _, iso := range countries {
+		if perME["me-"+iso] != tasksPer {
+			t.Errorf("me-%s results = %d", iso, perME["me-"+iso])
+		}
+	}
+}

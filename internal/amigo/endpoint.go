@@ -1,0 +1,263 @@
+package amigo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"roamsim/internal/airalo"
+	"roamsim/internal/measure"
+	"roamsim/internal/mno"
+	"roamsim/internal/rng"
+	"roamsim/internal/video"
+)
+
+// Endpoint is a measurement endpoint: the rooted-phone replacement that
+// executes instrumentation against the simulated world and talks to the
+// control server over HTTP.
+type Endpoint struct {
+	Name    string
+	BaseURL string
+	Client  *http.Client
+	Dep     *airalo.Deployment
+	Src     *rng.Source
+
+	battery float64
+}
+
+// NewEndpoint creates an ME bound to a deployment.
+func NewEndpoint(name, baseURL string, dep *airalo.Deployment, src *rng.Source) *Endpoint {
+	return &Endpoint{
+		Name: name, BaseURL: baseURL, Client: http.DefaultClient,
+		Dep: dep, Src: src, battery: 1,
+	}
+}
+
+func (e *Endpoint) post(path string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := e.Client.Post(e.BaseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// Register announces the ME to the control server.
+func (e *Endpoint) Register() error {
+	return e.post("/v1/register", map[string]string{
+		"me": e.Name, "country": e.Dep.Country.ISO3,
+	})
+}
+
+// Heartbeat reports current vitals, sampling the radio of the eSIM side.
+func (e *Endpoint) Heartbeat() error {
+	e.battery -= 0.002 // measurement drains the battery
+	if e.battery < 0.05 {
+		e.battery = 1 // the volunteer charged the phone
+	}
+	radio := e.Dep.Spec.RadioESIM.Sample(e.Src)
+	return e.post("/v1/status", map[string]any{
+		"me": e.Name,
+		"vitals": Vitals{
+			Battery: e.battery, RSSI: radio.RSSI, SNR: radio.SNR,
+			CQI: radio.CQI, RAT: string(radio.RAT), ActiveID: "esim",
+		},
+	})
+}
+
+// RunOnce polls for one task, executes it, and uploads the result.
+// It returns false when the queue is empty.
+func (e *Endpoint) RunOnce() (bool, error) {
+	resp, err := e.Client.Get(fmt.Sprintf("%s/v1/tasks?me=%s", e.BaseURL, e.Name))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return false, nil
+	case http.StatusOK:
+	default:
+		return false, fmt.Errorf("amigo: tasks: HTTP %d", resp.StatusCode)
+	}
+	var task Task
+	if err := json.NewDecoder(resp.Body).Decode(&task); err != nil {
+		return false, err
+	}
+	result := e.execute(task)
+	if err := e.post("/v1/results", result); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// execute runs the instrumentation for a task against the right session.
+func (e *Endpoint) execute(task Task) Result {
+	res := Result{TaskID: task.ID, ME: e.Name, Kind: task.Kind, Config: task.Config}
+	session, err := e.attach(task.Config)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	var payload any
+	switch task.Kind {
+	case "speedtest":
+		payload, err = runSpeedtest(session, e.Src)
+	case "mtr":
+		payload, err = runMTR(session, task.Target, e.Src)
+	case "cdn":
+		payload, err = runCDN(session, task.Target, e.Src)
+	case "dns":
+		payload, err = runDNS(session, e.Src)
+	case "video":
+		payload, err = runVideo(session, e.Src)
+	default:
+		err = fmt.Errorf("amigo: unknown task kind %q", task.Kind)
+	}
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.OK = true
+	res.Payload = raw
+	return res
+}
+
+func (e *Endpoint) attach(config string) (*airalo.Session, error) {
+	switch config {
+	case string(mno.ESIM):
+		return e.Dep.AttachESIM(e.Src)
+	case string(mno.PhysicalSIM):
+		return e.Dep.AttachSIM(e.Src)
+	default:
+		return nil, fmt.Errorf("amigo: unknown config %q", config)
+	}
+}
+
+// Payload types (the JSON the MEs upload).
+
+// SpeedtestPayload is the uploaded Ookla-style observation.
+type SpeedtestPayload struct {
+	Server    string  `json:"server"`
+	LatencyMs float64 `json:"latency_ms"`
+	DownMbps  float64 `json:"down_mbps"`
+	UpMbps    float64 `json:"up_mbps"`
+	CQI       int     `json:"cqi"`
+	RAT       string  `json:"rat"`
+	PublicIP  string  `json:"public_ip"`
+}
+
+func runSpeedtest(s *airalo.Session, src *rng.Source) (SpeedtestPayload, error) {
+	r, err := measure.Speedtest(s, src)
+	if err != nil {
+		return SpeedtestPayload{}, err
+	}
+	return SpeedtestPayload{
+		Server: r.ServerCity, LatencyMs: r.LatencyMs,
+		DownMbps: r.DownMbps, UpMbps: r.UpMbps,
+		CQI: r.Radio.CQI, RAT: string(r.Radio.RAT),
+		PublicIP: s.PublicIP.String(),
+	}, nil
+}
+
+// MTRPayload is one uploaded traceroute.
+type MTRPayload struct {
+	Target string   `json:"target"`
+	Hops   []MTRHop `json:"hops"`
+}
+
+// MTRHop is one hop line.
+type MTRHop struct {
+	TTL   int     `json:"ttl"`
+	Addr  string  `json:"addr,omitempty"` // empty when the hop timed out
+	RTTms float64 `json:"rtt_ms,omitempty"`
+}
+
+func runMTR(s *airalo.Session, target string, src *rng.Source) (MTRPayload, error) {
+	tr, err := measure.Traceroute(s, target, src)
+	if err != nil {
+		return MTRPayload{}, err
+	}
+	p := MTRPayload{Target: target}
+	for _, h := range tr.Raw.Hops {
+		hop := MTRHop{TTL: h.TTL}
+		if h.Responded {
+			hop.Addr = h.Addr.String()
+			hop.RTTms = h.BestRTTms
+		}
+		p.Hops = append(p.Hops, hop)
+	}
+	return p, nil
+}
+
+// CDNPayload is one uploaded CDN fetch.
+type CDNPayload struct {
+	Provider string  `json:"provider"`
+	Cache    string  `json:"cache"`
+	DNSMs    float64 `json:"dns_ms"`
+	TotalMs  float64 `json:"total_ms"`
+	Bytes    int     `json:"bytes"`
+}
+
+func runCDN(s *airalo.Session, provider string, src *rng.Source) (CDNPayload, error) {
+	r, err := measure.CDNFetch(s, provider, src)
+	if err != nil {
+		return CDNPayload{}, err
+	}
+	return CDNPayload{
+		Provider: r.Provider, Cache: string(r.Cache),
+		DNSMs: r.DNSMs, TotalMs: r.TotalMs, Bytes: r.SizeBytes,
+	}, nil
+}
+
+// DNSPayload is one uploaded resolver identification.
+type DNSPayload struct {
+	Resolver   string  `json:"resolver"`
+	City       string  `json:"city"`
+	Country    string  `json:"country"`
+	DurationMs float64 `json:"duration_ms"`
+	DoH        bool    `json:"doh"`
+}
+
+func runDNS(s *airalo.Session, src *rng.Source) (DNSPayload, error) {
+	r, err := measure.DNSLookup(s, src)
+	if err != nil {
+		return DNSPayload{}, err
+	}
+	return DNSPayload{
+		Resolver: r.Resolver.Addr.String(), City: r.Resolver.City,
+		Country: r.Resolver.Country, DurationMs: r.DurationMs, DoH: r.DoH,
+	}, nil
+}
+
+// VideoPayload is one uploaded stats-for-nerds summary.
+type VideoPayload struct {
+	Dominant  string             `json:"dominant"`
+	Rebuffers int                `json:"rebuffers"`
+	Shares    map[string]float64 `json:"shares"`
+}
+
+func runVideo(s *airalo.Session, src *rng.Source) (VideoPayload, error) {
+	st, err := measure.StreamVideo(s, video.Config{DurationSec: 120}, src)
+	if err != nil {
+		return VideoPayload{}, err
+	}
+	shares := map[string]float64{}
+	for name := range st.SecondsAt {
+		shares[name] = st.Share(name)
+	}
+	return VideoPayload{Dominant: st.DominantResolution, Rebuffers: st.Rebuffers, Shares: shares}, nil
+}

@@ -1,0 +1,204 @@
+// Package amigo reimplements the AmiGo testbed the paper extended: a
+// control server that manages remote measurement endpoints (MEs) over a
+// REST API, and the ME client that reports device vitals, fetches
+// instrumentation, and uploads results.
+//
+// The paper's MEs were rooted Samsung S21+ phones running termux; here
+// the ME drives sessions of the simulated world instead of a radio, but
+// the control-plane protocol — register, heartbeat with vitals, poll for
+// tasks, upload observations — is the same shape, over real HTTP.
+package amigo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Vitals are the device-health metrics an ME reports with heartbeats.
+type Vitals struct {
+	Battery  float64 `json:"battery"`   // 0..1
+	RSSI     float64 `json:"rssi"`      // dBm
+	SNR      float64 `json:"snr"`       // dB
+	CQI      int     `json:"cqi"`       //
+	RAT      string  `json:"rat"`       // "4G" / "5G"
+	ActiveID string  `json:"active_id"` // active SIM profile ("sim"/"esim")
+}
+
+// Task is one instrumentation command for an ME.
+type Task struct {
+	ID   int    `json:"id"`
+	Kind string `json:"kind"` // "speedtest", "mtr", "cdn", "dns", "video"
+	// Target parameterizes the task (SP name, CDN provider, ...).
+	Target string `json:"target,omitempty"`
+	// Config selects the SIM profile: "sim" or "esim".
+	Config string `json:"config"`
+}
+
+// Result is an uploaded observation.
+type Result struct {
+	TaskID   int             `json:"task_id"`
+	ME       string          `json:"me"`
+	Kind     string          `json:"kind"`
+	Config   string          `json:"config"`
+	OK       bool            `json:"ok"`
+	Error    string          `json:"error,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Uploaded time.Time       `json:"uploaded"`
+}
+
+// meState tracks one registered endpoint.
+type meState struct {
+	Country    string
+	LastVitals Vitals
+	LastSeen   time.Time
+	queue      []Task
+}
+
+// Server is the AmiGo control server.
+type Server struct {
+	mu      sync.Mutex
+	mes     map[string]*meState
+	results []Result
+	nextID  int
+	clock   func() time.Time
+}
+
+// NewServer returns a control server. clock may be nil (wall clock).
+func NewServer(clock func() time.Time) *Server {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Server{mes: map[string]*meState{}, clock: clock}
+}
+
+// Schedule queues a task for the named ME and returns its ID.
+func (s *Server) Schedule(me string, task Task) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.mes[me]
+	if !ok {
+		return 0, fmt.Errorf("amigo: unknown ME %q", me)
+	}
+	s.nextID++
+	task.ID = s.nextID
+	st.queue = append(st.queue, task)
+	return task.ID, nil
+}
+
+// Results returns a copy of the uploaded results.
+func (s *Server) Results() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Result(nil), s.results...)
+}
+
+// MEs lists registered endpoints, sorted.
+func (s *Server) MEs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.mes))
+	for name := range s.mes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vitals returns the last-reported vitals for an ME.
+func (s *Server) Vitals(me string) (Vitals, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.mes[me]
+	if !ok {
+		return Vitals{}, false
+	}
+	return st.LastVitals, true
+}
+
+// Handler exposes the REST API:
+//
+//	POST /v1/register   {"me": ..., "country": ...}
+//	POST /v1/status     {"me": ..., "vitals": {...}}
+//	GET  /v1/tasks?me=X          -> next queued task (204 if none)
+//	POST /v1/results    Result
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ME      string `json:"me"`
+			Country string `json:"country"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ME == "" {
+			http.Error(w, "bad register", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		if _, ok := s.mes[req.ME]; !ok {
+			s.mes[req.ME] = &meState{Country: req.Country}
+		}
+		s.mes[req.ME].LastSeen = s.clock()
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ME     string `json:"me"`
+			Vitals Vitals `json:"vitals"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad status", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		st, ok := s.mes[req.ME]
+		if ok {
+			st.LastVitals = req.Vitals
+			st.LastSeen = s.clock()
+		}
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown me", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		me := r.URL.Query().Get("me")
+		s.mu.Lock()
+		st, ok := s.mes[me]
+		var task Task
+		var have bool
+		if ok && len(st.queue) > 0 {
+			task, st.queue = st.queue[0], st.queue[1:]
+			have = true
+		}
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown me", http.StatusNotFound)
+			return
+		}
+		if !have {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(task)
+	})
+	mux.HandleFunc("POST /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		var res Result
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+			http.Error(w, "bad result", http.StatusBadRequest)
+			return
+		}
+		res.Uploaded = s.clock()
+		s.mu.Lock()
+		s.results = append(s.results, res)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -1,0 +1,84 @@
+// Package core implements the paper's primary contribution: the
+// tomography methodology that maps a thick MNA's hidden infrastructure
+// from end-to-end measurements.
+//
+// Its three pillars, each validated in the paper:
+//
+//  1. Roaming-architecture classification (Section 3.1): match the ASN of
+//     a session's public IP against the b-MNO (HR), the v-MNO (LBO), or a
+//     third party (IHBO).
+//  2. Traceroute demarcation (Section 4.3): the first public IP in a
+//     traceroute marks the PGW/CG-NAT boundary; hops before it are the
+//     private path (GTP tunnel + provider core), hops after it the public
+//     path. PGW geolocation is the geolocation of that first public IP.
+//  3. IMSI-range mining (Section 4.2): from IMSIs observed for seeded
+//     devices in a v-MNO core, extract the prefix ranges the b-MNO leases
+//     to the aggregator, then classify all inbound roamers.
+package core
+
+import (
+	"fmt"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/ipx"
+	"roamsim/internal/mno"
+)
+
+// Classification is the outcome of architecture classification for one
+// session/eSIM.
+type Classification struct {
+	Arch ipx.Architecture
+	// PGWAS is the AS announcing the session's public IP.
+	PGWAS ipreg.AS
+	// PGWCity/PGWCountry/PGWLoc geolocate the breakout.
+	PGWCity    string
+	PGWCountry string
+	PGWLoc     geo.Point
+}
+
+// Classifier resolves public IPs against a registry and operator records.
+type Classifier struct {
+	Reg *ipreg.Registry
+}
+
+// Classify determines the roaming architecture of a session given its
+// observed public IP and the session's issuer (b-MNO) and visited
+// operator (v-MNO). When the two operators are the same the session is
+// native regardless of addressing.
+func (c *Classifier) Classify(publicIP ipaddr.Addr, bMNO, vMNO *mno.Operator) (Classification, error) {
+	if bMNO == nil || vMNO == nil {
+		return Classification{}, fmt.Errorf("core: nil operator")
+	}
+	info, ok := c.Reg.Lookup(publicIP)
+	if !ok {
+		return Classification{}, fmt.Errorf("core: public IP %s not announced by any AS", publicIP)
+	}
+	cl := Classification{
+		PGWAS:      info.AS,
+		PGWCity:    info.City,
+		PGWCountry: info.Country,
+		PGWLoc:     info.Loc,
+	}
+	switch {
+	case bMNO.Name == vMNO.Name:
+		cl.Arch = ipx.Native
+	case info.AS.Number == bMNO.ASN:
+		cl.Arch = ipx.HR
+	case info.AS.Number == vMNO.ASN:
+		cl.Arch = ipx.LBO
+	default:
+		cl.Arch = ipx.IHBO
+	}
+	return cl, nil
+}
+
+// ArchOf is a convenience wrapper returning only the architecture.
+func (c *Classifier) ArchOf(publicIP ipaddr.Addr, bMNO, vMNO *mno.Operator) (ipx.Architecture, error) {
+	cl, err := c.Classify(publicIP, bMNO, vMNO)
+	if err != nil {
+		return "", err
+	}
+	return cl.Arch, nil
+}

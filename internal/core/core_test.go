@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/ipx"
+	"roamsim/internal/mno"
+	"roamsim/internal/netsim"
+)
+
+func testWorld() (*ipreg.Registry, *mno.Operator, *mno.Operator, *mno.Operator) {
+	reg := ipreg.NewRegistry()
+	reg.RegisterAS(ipreg.AS{Number: 45143, Org: "Singtel", Country: "SGP", Kind: ipreg.KindMNO})
+	reg.RegisterAS(ipreg.AS{Number: 5384, Org: "Etisalat", Country: "ARE", Kind: ipreg.KindMNO})
+	reg.RegisterAS(ipreg.AS{Number: 54825, Org: "Packet Host", Country: "USA", Kind: ipreg.KindIPX})
+	reg.RegisterAS(ipreg.AS{Number: 15169, Org: "Google", Country: "USA", Kind: ipreg.KindContent})
+	sgp, ams, dxb, ash := geo.MustCity("Singapore"), geo.MustCity("Amsterdam"), geo.MustCity("Dubai"), geo.MustCity("Ashburn")
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("202.166.126.0/24"), 45143, sgp.Name, "SGP", sgp.Loc)
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("147.75.32.0/20"), 54825, ams.Name, "NLD", ams.Loc)
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("94.200.0.0/16"), 5384, dxb.Name, "ARE", dxb.Loc)
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("142.250.0.0/16"), 15169, ash.Name, "USA", ash.Loc)
+
+	singtel := &mno.Operator{Name: "Singtel", PLMN: mno.PLMN{MCC: "525", MNC: "01"}, Country: "SGP", ASN: 45143}
+	etisalat := &mno.Operator{Name: "Etisalat", PLMN: mno.PLMN{MCC: "424", MNC: "02"}, Country: "ARE", ASN: 5384}
+	dtac := &mno.Operator{Name: "dtac", PLMN: mno.PLMN{MCC: "520", MNC: "05"}, Country: "THA", ASN: 9587}
+	return reg, singtel, etisalat, dtac
+}
+
+func TestClassifyHR(t *testing.T) {
+	reg, singtel, etisalat, _ := testWorld()
+	c := &Classifier{Reg: reg}
+	cl, err := c.Classify(ipaddr.MustParse("202.166.126.9"), singtel, etisalat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Arch != ipx.HR {
+		t.Errorf("arch = %s, want HR", cl.Arch)
+	}
+	if cl.PGWCountry != "SGP" || cl.PGWAS.Org != "Singtel" {
+		t.Errorf("PGW = %s/%s", cl.PGWAS.Org, cl.PGWCountry)
+	}
+}
+
+func TestClassifyIHBO(t *testing.T) {
+	reg, singtel, etisalat, _ := testWorld()
+	_ = singtel
+	c := &Classifier{Reg: reg}
+	play := &mno.Operator{Name: "Play", PLMN: mno.PLMN{MCC: "260", MNC: "06"}, Country: "POL", ASN: 12912}
+	cl, err := c.Classify(ipaddr.MustParse("147.75.33.1"), play, etisalat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Arch != ipx.IHBO {
+		t.Errorf("arch = %s, want IHBO", cl.Arch)
+	}
+	if cl.PGWCity != "Amsterdam" {
+		t.Errorf("PGW city = %s", cl.PGWCity)
+	}
+}
+
+func TestClassifyLBO(t *testing.T) {
+	reg, singtel, etisalat, _ := testWorld()
+	c := &Classifier{Reg: reg}
+	cl, err := c.Classify(ipaddr.MustParse("94.200.1.1"), singtel, etisalat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Arch != ipx.LBO {
+		t.Errorf("arch = %s, want LBO", cl.Arch)
+	}
+}
+
+func TestClassifyNative(t *testing.T) {
+	reg, _, _, dtac := testWorld()
+	c := &Classifier{Reg: reg}
+	// Same operator on both sides is native even from third-party space.
+	reg.RegisterAS(ipreg.AS{Number: 9587, Org: "dtac", Country: "THA", Kind: ipreg.KindMNO})
+	bkk := geo.MustCity("Bangkok")
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("1.46.0.0/16"), 9587, bkk.Name, "THA", bkk.Loc)
+	cl, err := c.Classify(ipaddr.MustParse("1.46.3.3"), dtac, dtac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Arch != ipx.Native {
+		t.Errorf("arch = %s, want native", cl.Arch)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	reg, singtel, etisalat, _ := testWorld()
+	c := &Classifier{Reg: reg}
+	if _, err := c.Classify(ipaddr.MustParse("203.0.113.1"), singtel, etisalat); err == nil {
+		t.Error("unregistered IP should error")
+	}
+	if _, err := c.Classify(ipaddr.MustParse("202.166.126.1"), nil, etisalat); err == nil {
+		t.Error("nil operator should error")
+	}
+	if _, err := c.ArchOf(ipaddr.MustParse("202.166.126.1"), singtel, etisalat); err != nil {
+		t.Errorf("ArchOf failed: %v", err)
+	}
+}
+
+// buildTrace fabricates an mtr-style result.
+func buildTrace(entries []struct {
+	addr      string
+	responded bool
+	rtt       float64
+}) netsim.TracerouteResult {
+	tr := netsim.TracerouteResult{}
+	for i, e := range entries {
+		tr.Hops = append(tr.Hops, netsim.HopRecord{
+			TTL: i + 1, Responded: e.responded,
+			Addr: ipaddr.MustParse(e.addr), BestRTTms: e.rtt,
+		})
+	}
+	if n := len(tr.Hops); n > 0 {
+		tr.DestReached = tr.Hops[n-1].Responded
+	}
+	return tr
+}
+
+func TestDemarcateHRTrace(t *testing.T) {
+	reg, _, _, _ := testWorld()
+	// UAE HR eSIM: 3 private hops, PGW in Singapore, then Google.
+	tr := buildTrace([]struct {
+		addr      string
+		responded bool
+		rtt       float64
+	}{
+		{"10.1.0.1", true, 20},
+		{"10.1.0.2", true, 45},
+		{"100.64.0.1", true, 160},
+		{"202.166.126.4", true, 170}, // first public: Singtel PGW
+		{"142.250.1.1", true, 176},   // Google edge
+		{"142.250.1.9", true, 178},
+	})
+	pa, err := Demarcate(tr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.PrivateHops != 3 || pa.PublicHops != 3 {
+		t.Errorf("split = %d/%d, want 3/3", pa.PrivateHops, pa.PublicHops)
+	}
+	if pa.PGW.AS.Number != 45143 || pa.PGW.Country != "SGP" {
+		t.Errorf("PGW = %+v", pa.PGW.AS)
+	}
+	if pa.PGWHopRTTms != 170 || pa.FinalRTTms != 178 {
+		t.Errorf("RTTs = %f/%f", pa.PGWHopRTTms, pa.FinalRTTms)
+	}
+	if pa.PrivateFraction < 0.94 || pa.PrivateFraction > 0.96 {
+		t.Errorf("private fraction = %f, want ~0.955", pa.PrivateFraction)
+	}
+	if pa.UniqueASNs != 2 {
+		t.Errorf("unique ASNs = %d, want 2 (Singtel + Google)", pa.UniqueASNs)
+	}
+	if !pa.DestReached {
+		t.Error("destination reached flag lost")
+	}
+}
+
+func TestDemarcateSilentCGNAT(t *testing.T) {
+	reg, _, _, _ := testWorld()
+	// German IHBO case: the CG-NAT never answers, so the first public
+	// *responding* hop is already inside Google — one unique ASN.
+	tr := buildTrace([]struct {
+		addr      string
+		responded bool
+		rtt       float64
+	}{
+		{"10.2.0.1", true, 12},
+		{"147.75.33.7", false, 0}, // silent CG-NAT (would be Packet Host)
+		{"142.250.1.1", true, 48},
+		{"142.250.1.9", true, 50},
+	})
+	pa, err := Demarcate(tr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.UniqueASNs != 1 {
+		t.Errorf("unique ASNs = %d, want 1 (only the SP visible)", pa.UniqueASNs)
+	}
+	if pa.PGW.AS.Number != 15169 {
+		t.Errorf("with a silent CG-NAT the first responding public hop is the SP, got %s", pa.PGW.AS.Number)
+	}
+}
+
+func TestDemarcateNoPublicHop(t *testing.T) {
+	reg, _, _, _ := testWorld()
+	tr := buildTrace([]struct {
+		addr      string
+		responded bool
+		rtt       float64
+	}{
+		{"10.0.0.1", true, 5},
+		{"10.0.0.2", true, 9},
+	})
+	if _, err := Demarcate(tr, reg); err != ErrNoPublicHop {
+		t.Errorf("want ErrNoPublicHop, got %v", err)
+	}
+}
+
+func TestDemarcatePrivateFractionClamped(t *testing.T) {
+	reg, _, _, _ := testWorld()
+	tr := buildTrace([]struct {
+		addr      string
+		responded bool
+		rtt       float64
+	}{
+		{"202.166.126.4", true, 120},
+		{"142.250.1.1", true, 100}, // jitter: final hop beats PGW hop
+	})
+	pa, err := Demarcate(tr, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.PrivateFraction != 1 {
+		t.Errorf("fraction should clamp to 1, got %f", pa.PrivateFraction)
+	}
+	if pa.PrivateHops != 0 {
+		t.Errorf("private hops = %d", pa.PrivateHops)
+	}
+}
+
+func TestVerifyPGWConsistency(t *testing.T) {
+	reg, _, _, _ := testWorld()
+	tr := buildTrace([]struct {
+		addr      string
+		responded bool
+		rtt       float64
+	}{
+		{"202.166.126.4", true, 150},
+		{"142.250.1.1", true, 160},
+	})
+	pa, _ := Demarcate(tr, reg)
+	sessionInfo, _ := reg.Lookup(ipaddr.MustParse("202.166.126.200"))
+	if err := pa.VerifyPGWConsistency(sessionInfo); err != nil {
+		t.Errorf("same-AS session IP should verify: %v", err)
+	}
+	otherInfo, _ := reg.Lookup(ipaddr.MustParse("147.75.32.1"))
+	if err := pa.VerifyPGWConsistency(otherInfo); err == nil {
+		t.Error("cross-AS mismatch must be flagged")
+	}
+}
+
+func TestPGWDistance(t *testing.T) {
+	reg, _, _, _ := testWorld()
+	tr := buildTrace([]struct {
+		addr      string
+		responded bool
+		rtt       float64
+	}{{"202.166.126.4", true, 150}})
+	pa, _ := Demarcate(tr, reg)
+	d := pa.PGWDistanceKm(geo.MustCity("Dubai").Loc)
+	if d < 5500 || d > 6200 {
+		t.Errorf("Dubai -> Singapore PGW distance = %f", d)
+	}
+}

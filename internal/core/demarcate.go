@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/netsim"
+)
+
+// PathAnalysis is the demarcated view of one traceroute: the private
+// segment (GTP tunnel and provider core, before breakout), the public
+// segment (after breakout), and the quantities the paper derives from
+// them.
+type PathAnalysis struct {
+	// PrivateHops is the count of hops before the first public IP.
+	PrivateHops int
+	// PublicHops is the count of hops from the first public IP onward.
+	PublicHops int
+	// PGW is the WHOIS record of the first public hop, interpreted as
+	// the PGW/CG-NAT of the breakout provider.
+	PGW ipreg.Info
+	// PGWHopRTTms is the best RTT at the PGW hop, the Figure 8/9 metric.
+	PGWHopRTTms float64
+	// FinalRTTms is the best RTT at the last responding hop.
+	FinalRTTms float64
+	// PrivateFraction is PGWHopRTTms / FinalRTTms — the Figure 12 metric.
+	PrivateFraction float64
+	// UniqueASNs is the count of distinct ASNs observed across all
+	// responding public hops (Figure 6).
+	UniqueASNs int
+	// ASNs lists the distinct ASNs in path order.
+	ASNs []ipreg.ASN
+	// DestReached reports whether the traceroute reached a responding
+	// final hop.
+	DestReached bool
+}
+
+// ErrNoPublicHop is returned when the traceroute never leaves private
+// address space (no breakout visible).
+var ErrNoPublicHop = fmt.Errorf("core: no public hop in traceroute")
+
+// Demarcate splits a traceroute at the first public IP address and
+// derives the paper's per-traceroute metrics. Hops that did not respond
+// are skipped for RTT purposes but still counted for path lengths by
+// position (exactly how mtr output is read).
+func Demarcate(tr netsim.TracerouteResult, reg *ipreg.Registry) (PathAnalysis, error) {
+	pa := PathAnalysis{DestReached: tr.DestReached}
+	firstPublic := -1
+	for i, hop := range tr.Hops {
+		if !hop.Responded {
+			continue
+		}
+		if !hop.Addr.IsPrivate() {
+			firstPublic = i
+			break
+		}
+	}
+	if firstPublic < 0 {
+		return pa, ErrNoPublicHop
+	}
+	pa.PrivateHops = firstPublic
+	pa.PublicHops = len(tr.Hops) - firstPublic
+
+	info, ok := reg.Lookup(tr.Hops[firstPublic].Addr)
+	if !ok {
+		return pa, fmt.Errorf("core: first public hop %s not in registry", tr.Hops[firstPublic].Addr)
+	}
+	pa.PGW = info
+	pa.PGWHopRTTms = tr.Hops[firstPublic].BestRTTms
+
+	seen := map[ipreg.ASN]bool{}
+	for _, hop := range tr.Hops[firstPublic:] {
+		if !hop.Responded {
+			continue
+		}
+		pa.FinalRTTms = hop.BestRTTms
+		if hi, ok := reg.Lookup(hop.Addr); ok && !seen[hi.AS.Number] {
+			seen[hi.AS.Number] = true
+			pa.ASNs = append(pa.ASNs, hi.AS.Number)
+		}
+	}
+	pa.UniqueASNs = len(pa.ASNs)
+	if pa.FinalRTTms > 0 {
+		pa.PrivateFraction = pa.PGWHopRTTms / pa.FinalRTTms
+		if pa.PrivateFraction > 1 {
+			// Jitter can make an intermediate hop beat the final hop;
+			// clamp as the paper's percentage plots implicitly do.
+			pa.PrivateFraction = 1
+		}
+	}
+	return pa, nil
+}
+
+// PGWDistanceKm returns the great-circle distance between the inferred
+// PGW and a reference point (the user location for the "farther than the
+// b-MNO country" analysis).
+func (pa PathAnalysis) PGWDistanceKm(from geo.Point) float64 {
+	return geo.DistanceKm(from, pa.PGW.Loc)
+}
+
+// VerifyPGWConsistency cross-checks the demarcation against the session's
+// separately observed public IP (the Ookla-speedtest validation step of
+// Section 4.3): both must be announced by the same AS.
+func (pa PathAnalysis) VerifyPGWConsistency(sessionPublicIP ipreg.Info) error {
+	if pa.PGW.AS.Number != sessionPublicIP.AS.Number {
+		return fmt.Errorf("core: PGW AS %s does not match session public IP AS %s — possible misclassification",
+			pa.PGW.AS.Number, sessionPublicIP.AS.Number)
+	}
+	return nil
+}

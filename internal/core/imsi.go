@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"roamsim/internal/mno"
+)
+
+// MineOptions tune IMSI-range mining.
+type MineOptions struct {
+	// MinPrefixLen is the shortest prefix the miner may generalize to
+	// (default 7: PLMN plus two digits — never the whole operator).
+	MinPrefixLen int
+	// MaxPrefixLen is the deepest prefix emitted (default 9). Deeper
+	// prefixes would overfit to the seeded devices.
+	MaxPrefixLen int
+	// MergeThreshold is the number of distinct child digits at which the
+	// miner generalizes to the parent prefix (default 3): seeing devices
+	// spread across ≥3 sub-blocks is evidence the whole parent block is
+	// leased.
+	MergeThreshold int
+}
+
+func (o MineOptions) withDefaults() MineOptions {
+	if o.MinPrefixLen == 0 {
+		o.MinPrefixLen = 7
+	}
+	if o.MaxPrefixLen == 0 {
+		o.MaxPrefixLen = 9
+	}
+	if o.MergeThreshold == 0 {
+		o.MergeThreshold = 3
+	}
+	return o
+}
+
+// RangeSet is a set of mined IMSI ranges with fast matching.
+type RangeSet struct {
+	Ranges []mno.IMSIRange
+}
+
+// Match reports whether the IMSI falls in any mined range.
+func (rs RangeSet) Match(i mno.IMSI) bool {
+	for _, r := range rs.Ranges {
+		if r.Contains(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// trieNode is a digit trie over IMSIs.
+type trieNode struct {
+	children map[byte]*trieNode
+	count    int
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[byte]*trieNode)}
+}
+
+// MineIMSIRanges reproduces the Section 4.2 pattern-matching analysis:
+// given the IMSIs observed for devices known (by IMEI) to run the
+// aggregator's eSIMs, infer the prefix ranges the b-MNO leases to the
+// aggregator.
+//
+// All seeded IMSIs must be valid and share a PLMN prefix of at least 5
+// digits (they are, by construction, issued by one b-MNO).
+func MineIMSIRanges(seeded []mno.IMSI, opts MineOptions) (RangeSet, error) {
+	opts = opts.withDefaults()
+	if len(seeded) == 0 {
+		return RangeSet{}, fmt.Errorf("core: no seeded IMSIs")
+	}
+	if opts.MinPrefixLen < 5 || opts.MaxPrefixLen < opts.MinPrefixLen || opts.MaxPrefixLen >= 15 {
+		return RangeSet{}, fmt.Errorf("core: bad prefix bounds [%d, %d]", opts.MinPrefixLen, opts.MaxPrefixLen)
+	}
+	for _, i := range seeded {
+		if !i.Valid() {
+			return RangeSet{}, fmt.Errorf("core: invalid seeded IMSI %q", i)
+		}
+		if string(i)[:5] != string(seeded[0])[:5] {
+			return RangeSet{}, fmt.Errorf("core: seeded IMSIs span multiple PLMNs (%q vs %q)", i, seeded[0])
+		}
+	}
+
+	root := newTrieNode()
+	for _, imsi := range seeded {
+		node := root
+		node.count++
+		for d := 0; d < opts.MaxPrefixLen; d++ {
+			c := string(imsi)[d]
+			child, ok := node.children[c]
+			if !ok {
+				child = newTrieNode()
+				node.children[c] = child
+			}
+			child.count++
+			node = child
+		}
+	}
+
+	var prefixes []string
+	var walk func(n *trieNode, prefix string)
+	walk = func(n *trieNode, prefix string) {
+		if len(prefix) == opts.MaxPrefixLen {
+			prefixes = append(prefixes, prefix)
+			return
+		}
+		// Generalize when the devices fan out across many sub-blocks.
+		if len(prefix) >= opts.MinPrefixLen && len(n.children) >= opts.MergeThreshold {
+			prefixes = append(prefixes, prefix)
+			return
+		}
+		keys := make([]byte, 0, len(n.children))
+		for c := range n.children {
+			keys = append(keys, c)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, c := range keys {
+			walk(n.children[c], prefix+string(c))
+		}
+	}
+	walk(root, "")
+
+	rs := RangeSet{}
+	for _, p := range prefixes {
+		rs.Ranges = append(rs.Ranges, mno.IMSIRange{Prefix: p, Label: "mined"})
+	}
+	return rs, nil
+}
+
+// Coverage verifies every seeded IMSI matches the mined set; mining must
+// never lose a known device.
+func (rs RangeSet) Coverage(seeded []mno.IMSI) float64 {
+	if len(seeded) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, i := range seeded {
+		if rs.Match(i) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(seeded))
+}
+
+// Partition splits an observed IMSI population into matched (inferred
+// aggregator users) and unmatched (other inbound roamers of the same
+// b-MNO), the Figure 5 grouping.
+func (rs RangeSet) Partition(observed []mno.IMSI) (matched, unmatched []mno.IMSI) {
+	for _, i := range observed {
+		if rs.Match(i) {
+			matched = append(matched, i)
+		} else {
+			unmatched = append(unmatched, i)
+		}
+	}
+	return matched, unmatched
+}

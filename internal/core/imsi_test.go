@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"roamsim/internal/mno"
+	"roamsim/internal/rng"
+)
+
+func TestMineIMSIRangesSimple(t *testing.T) {
+	// 10 devices all inside Play's leased block 26006731x.
+	var seeded []mno.IMSI
+	for i := 0; i < 10; i++ {
+		seeded = append(seeded, mno.IMSI(fmt.Sprintf("26006731%07d", i*137)))
+	}
+	rs, err := MineIMSIRanges(seeded, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Coverage(seeded) != 1 {
+		t.Fatal("mining must cover all seeded IMSIs")
+	}
+	// All seeded share 26006731 then fan out: the miner should
+	// generalize at or below 9 digits, not emit one range per device.
+	if len(rs.Ranges) > 3 {
+		t.Errorf("expected generalized ranges, got %d: %v", len(rs.Ranges), rs.Ranges)
+	}
+	for _, r := range rs.Ranges {
+		if len(r.Prefix) < 7 || len(r.Prefix) > 9 {
+			t.Errorf("range %q outside [7,9] digits", r.Prefix)
+		}
+		if r.Prefix[:5] != "26006" {
+			t.Errorf("range %q escaped the PLMN", r.Prefix)
+		}
+	}
+}
+
+func TestMineIMSIRangesTwoBlocks(t *testing.T) {
+	// Devices split between two distant leased blocks.
+	var seeded []mno.IMSI
+	for i := 0; i < 5; i++ {
+		seeded = append(seeded, mno.IMSI(fmt.Sprintf("26006731%07d", i*1111)))
+		seeded = append(seeded, mno.IMSI(fmt.Sprintf("26006890%07d", i*1111)))
+	}
+	rs, err := MineIMSIRanges(seeded, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Coverage(seeded) != 1 {
+		t.Fatal("coverage must be 1")
+	}
+	// The two blocks must not be merged into one covering range wider
+	// than the PLMN+2 floor that would sweep in ordinary Play customers.
+	if rs.Match(mno.IMSI("260060000000001")) {
+		t.Error("a retail Play IMSI far from both blocks must not match")
+	}
+	if !rs.Match(mno.IMSI("260067310009999")) || !rs.Match(mno.IMSI("260068900001234")) {
+		t.Error("IMSIs inside the leased blocks must match")
+	}
+}
+
+func TestMineIMSIRangesValidation(t *testing.T) {
+	if _, err := MineIMSIRanges(nil, MineOptions{}); err == nil {
+		t.Error("empty seed should error")
+	}
+	if _, err := MineIMSIRanges([]mno.IMSI{"123"}, MineOptions{}); err == nil {
+		t.Error("invalid IMSI should error")
+	}
+	mixed := []mno.IMSI{"260067310000001", "310260731000001"}
+	if _, err := MineIMSIRanges(mixed, MineOptions{}); err == nil {
+		t.Error("cross-PLMN seed should error")
+	}
+	one := []mno.IMSI{"260067310000001"}
+	if _, err := MineIMSIRanges(one, MineOptions{MinPrefixLen: 3}); err == nil {
+		t.Error("MinPrefixLen < 5 should error")
+	}
+	if _, err := MineIMSIRanges(one, MineOptions{MinPrefixLen: 9, MaxPrefixLen: 7}); err == nil {
+		t.Error("inverted bounds should error")
+	}
+}
+
+func TestPartitionRoamers(t *testing.T) {
+	play := &mno.Operator{Name: "Play", PLMN: mno.PLMN{MCC: "260", MNC: "06"}, Country: "POL"}
+	airaloRange := play.MustLeaseRange("731", "airalo")
+
+	// Seed 10 devices from the leased range, as the paper did in the UK.
+	var seeded []mno.IMSI
+	for i := 0; i < 10; i++ {
+		seeded = append(seeded, play.NewIMSI(airaloRange))
+	}
+	rs, err := MineIMSIRanges(seeded, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observed population at the v-MNO: Airalo users + ordinary Play
+	// roamers (outside the leased block).
+	src := rng.New(1)
+	var observed []mno.IMSI
+	wantAiralo := 0
+	for i := 0; i < 2000; i++ {
+		if src.Bool(0.4) {
+			observed = append(observed, play.NewIMSI(airaloRange))
+			wantAiralo++
+		} else {
+			suffix := src.IntBetween(0, 999999999)
+			observed = append(observed, mno.IMSI(fmt.Sprintf("260060%09d", suffix)))
+		}
+	}
+	matched, unmatched := rs.Partition(observed)
+	if len(matched)+len(unmatched) != len(observed) {
+		t.Fatal("partition lost IMSIs")
+	}
+	// Every true Airalo user must match (ranges cover the lease)...
+	if len(matched) < wantAiralo {
+		t.Errorf("matched %d < true %d — pattern match missed aggregator users", len(matched), wantAiralo)
+	}
+	// ...and false positives are bounded: the mined prefixes are at most
+	// 2 digits wider than the true lease.
+	if len(matched) > wantAiralo+wantAiralo/5 {
+		t.Errorf("matched %d >> true %d — over-generalized", len(matched), wantAiralo)
+	}
+}
+
+func TestMineRespectsMaxDepth(t *testing.T) {
+	seeded := []mno.IMSI{"260067310000001"}
+	rs, err := MineIMSIRanges(seeded, MineOptions{MinPrefixLen: 7, MaxPrefixLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Ranges) != 1 || rs.Ranges[0].Prefix != "26006731" {
+		t.Errorf("single seed should yield its 8-digit prefix, got %v", rs.Ranges)
+	}
+}

@@ -1,0 +1,156 @@
+package dnssim
+
+import (
+	"testing"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/rng"
+)
+
+func googleAnycast() *AnycastGroup {
+	mk := func(city, country string) Resolver {
+		c := geo.MustCity(city)
+		return Resolver{Name: "google-" + city, ASN: 15169, City: city,
+			Country: country, Loc: c.Loc, SupportsDoH: true,
+			Addr: ipaddr.MustParse("8.8.4.4")}
+	}
+	return &AnycastGroup{
+		Name: "GoogleDNS",
+		VIP:  ipaddr.MustParse("8.8.8.8"),
+		Instances: []Resolver{
+			mk("Amsterdam", "NLD"), mk("Lille", "FRA"), mk("London", "GBR"),
+			mk("Tulsa", "USA"), mk("Fort Worth", "USA"), mk("Singapore", "SGP"),
+		},
+	}
+}
+
+func TestAnycastNearestLandsAtPGWCountry(t *testing.T) {
+	g := googleAnycast()
+	// IHBO breakout in Amsterdam -> Amsterdam instance, same country as
+	// PGW (the 74% finding).
+	r, err := g.Nearest(geo.MustCity("Amsterdam").Loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Country != "NLD" {
+		t.Errorf("Amsterdam PGW got resolver in %s", r.Country)
+	}
+	// Breakout in Dallas: nearest is Fort Worth (20 km), not Tulsa.
+	r, _ = g.Nearest(geo.MustCity("Dallas").Loc)
+	if r.City != "Fort Worth" {
+		t.Errorf("Dallas PGW got resolver %s, want Fort Worth", r.City)
+	}
+	var empty AnycastGroup
+	if _, err := empty.Nearest(geo.Point{}); err != nil {
+		// ok: expected error
+	} else {
+		t.Error("empty group should error")
+	}
+}
+
+func TestConfigEffective(t *testing.T) {
+	g := googleAnycast()
+	sgRes := Resolver{Name: "singtel-dns", Country: "SGP", Loc: geo.MustCity("Singapore").Loc}
+	own := Config{Resolver: &sgRes}
+	r, err := own.Effective(geo.MustCity("Amsterdam").Loc)
+	if err != nil || r.Name != "singtel-dns" {
+		t.Errorf("b-MNO config should pin its resolver: %v %s", err, r.Name)
+	}
+	any := Config{Anycast: g}
+	r, err = any.Effective(geo.MustCity("London").Loc)
+	if err != nil || r.City != "London" {
+		t.Errorf("anycast config: %v %s", err, r.City)
+	}
+	var none Config
+	if _, err := none.Effective(geo.Point{}); err == nil {
+		t.Error("empty config should error")
+	}
+}
+
+func TestDoHActiveRequiresSupport(t *testing.T) {
+	mnoRes := Resolver{Name: "mno", SupportsDoH: false}
+	googleRes := Resolver{Name: "google", SupportsDoH: true}
+	c := Config{UseDoH: true}
+	if c.DoHActive(mnoRes) {
+		t.Error("DoH must fall back when resolver lacks support")
+	}
+	if !c.DoHActive(googleRes) {
+		t.Error("DoH should be active with Google")
+	}
+	if (Config{UseDoH: false}).DoHActive(googleRes) {
+		t.Error("DoH off must stay off")
+	}
+}
+
+func TestLookupDoHSlower(t *testing.T) {
+	src := rng.New(1)
+	r := Resolver{Name: "r", SupportsDoH: true}
+	const rtt = 40.0
+	var plain, doh float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		plain += Lookup(r, rtt, false, src).DurationMs
+		doh += Lookup(r, rtt, true, src).DurationMs
+	}
+	if doh/n < plain/n+2*rtt*0.8 {
+		t.Errorf("DoH mean %f should exceed plain %f by ~2 RTT", doh/n, plain/n)
+	}
+}
+
+func TestLookupScalesWithRTT(t *testing.T) {
+	src := rng.New(2)
+	r := Resolver{Name: "r"}
+	var short, long float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		short += Lookup(r, 10, false, src).DurationMs
+		long += Lookup(r, 300, false, src).DurationMs // HR-like tunnel RTT
+	}
+	// The 610% HR inflation mechanism: duration tracks resolver RTT.
+	if long/short < 4 {
+		t.Errorf("long/short ratio = %f, want > 4", long/short)
+	}
+}
+
+func TestLookupCacheMissAddsRecursion(t *testing.T) {
+	src := rng.New(3)
+	r := Resolver{Name: "r"}
+	var hit, miss []float64
+	for i := 0; i < 2000; i++ {
+		res := Lookup(r, 20, false, src)
+		if res.CacheHit {
+			hit = append(hit, res.DurationMs)
+		} else {
+			miss = append(miss, res.DurationMs)
+		}
+	}
+	if len(hit) == 0 || len(miss) == 0 {
+		t.Fatal("expected both hits and misses")
+	}
+	var mh, mm float64
+	for _, v := range hit {
+		mh += v
+	}
+	for _, v := range miss {
+		mm += v
+	}
+	if mm/float64(len(miss)) <= mh/float64(len(hit)) {
+		t.Error("cache misses must be slower on average")
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	g := googleAnycast()
+	c := Config{Anycast: g, UseDoH: true}
+	r, doh, err := Identify(c, geo.MustCity("Lille").Loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.City != "Lille" || !doh {
+		t.Errorf("Identify = %s doh=%v", r.City, doh)
+	}
+	if _, _, err := Identify(Config{}, geo.Point{}); err == nil {
+		t.Error("empty config should error")
+	}
+}

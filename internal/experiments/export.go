@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"roamsim/internal/report"
+)
+
+// WriteAll regenerates every artifact and writes each as both an
+// aligned text table (.txt) and CSV (.csv) under dir, returning the
+// list of files written. It is the library-level equivalent of running
+// `roam-experiments -exp all` twice with and without -csv.
+func (r *Runner) WriteAll(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	put := func(name string, t *report.Table) error {
+		txt := filepath.Join(dir, name+".txt")
+		if err := os.WriteFile(txt, []byte(t.String()), 0o644); err != nil {
+			return err
+		}
+		csv := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(csv, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+		written = append(written, txt, csv)
+		return nil
+	}
+	putSeries := func(name string, s []report.Series) error {
+		p := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(p, []byte(report.SeriesCSV(s)), 0o644); err != nil {
+			return err
+		}
+		written = append(written, p)
+		return nil
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	jobs := []job{
+		{"table2", func() error { t, err := r.Table2(); return putOr(err, "table2", t, put) }},
+		{"table3", func() error { t, err := r.Table3(); return putOr(err, "table3", t, put) }},
+		{"table4", func() error { t, err := r.Table4(); return putOr(err, "table4", t, put) }},
+		{"fig3", func() error { t, err := r.Figure3(); return putOr(err, "fig3", t, put) }},
+		{"fig4", func() error { t, err := r.Figure4(); return putOr(err, "fig4", t, put) }},
+		{"fig5", func() error {
+			res, err := r.Figure5()
+			if err != nil {
+				return err
+			}
+			return put("fig5", res.Table)
+		}},
+		{"fig6", func() error { t, err := r.Figure6(); return putOr(err, "fig6", t, put) }},
+		{"fig7", func() error { t, err := r.Figure7(); return putOr(err, "fig7", t, put) }},
+		{"fig8", func() error {
+			res, err := r.Figure8()
+			if err != nil {
+				return err
+			}
+			return putSeries("fig8_cdf", res.Series)
+		}},
+		{"fig9", func() error {
+			res, err := r.Figure9()
+			if err != nil {
+				return err
+			}
+			return putSeries("fig9_cdf", res.Series)
+		}},
+		{"fig10", func() error { t, err := r.Figure10(); return putOr(err, "fig10", t, put) }},
+		{"fig11", func() error {
+			res, err := r.Figure11()
+			if err != nil {
+				return err
+			}
+			return put("fig11", res.Table)
+		}},
+		{"fig12", func() error {
+			res, err := r.Figure12()
+			if err != nil {
+				return err
+			}
+			return putSeries("fig12_cdf", res.Series)
+		}},
+		{"fig13", func() error {
+			res, err := r.Figure13()
+			if err != nil {
+				return err
+			}
+			if err := put("fig13a_web", res.WebTable); err != nil {
+				return err
+			}
+			return put("fig13bc_device", res.DeviceTable)
+		}},
+		{"fig14a", func() error {
+			res, err := r.Figure14a()
+			if err != nil {
+				return err
+			}
+			return put("fig14a", res.Table)
+		}},
+		{"fig14b", func() error {
+			res, err := r.Figure14b()
+			if err != nil {
+				return err
+			}
+			return put("fig14b", res.Table)
+		}},
+		{"fig15", func() error { t, err := r.Figure15(); return putOr(err, "fig15", t, put) }},
+		{"fig16", func() error { t, err := r.Figure16(); return putOr(err, "fig16", t, put) }},
+		{"fig17", func() error {
+			res, err := r.Figure17()
+			if err != nil {
+				return err
+			}
+			return put("fig17", res.Table)
+		}},
+		{"fig18", func() error { t, err := r.Figure18(); return putOr(err, "fig18", t, put) }},
+		{"fig19", func() error { t, err := r.Figure19(); return putOr(err, "fig19", t, put) }},
+		{"fig20", func() error {
+			tabs, err := r.Figure20()
+			if err != nil {
+				return err
+			}
+			for i, t := range tabs {
+				if err := put(fmt.Sprintf("fig20_%d", i+1), t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"validation", func() error { t, err := r.Validation(); return putOr(err, "validation", t, put) }},
+		{"ablation_pgw", func() error { t, err := r.AblationPGWSelection(); return putOr(err, "ablation_pgw", t, put) }},
+		{"ablation_policy", func() error { t, err := r.AblationPolicyCaps(); return putOr(err, "ablation_policy", t, put) }},
+		{"ablation_peering", func() error { t, err := r.AblationPeering(); return putOr(err, "ablation_peering", t, put) }},
+		{"ablation_lbo", func() error { t, err := r.AblationLBO(); return putOr(err, "ablation_lbo", t, put) }},
+		{"voip", func() error { t, err := r.FutureVoIP(); return putOr(err, "voip", t, put) }},
+		{"jurisdiction", func() error { t, err := r.DiscussionJurisdiction(); return putOr(err, "jurisdiction", t, put) }},
+		{"confounders", func() error { t, err := r.Confounders(); return putOr(err, "confounders", t, put) }},
+		{"signaling", func() error { t, err := r.SignalingBreakdown(); return putOr(err, "signaling", t, put) }},
+	}
+	for _, j := range jobs {
+		if err := j.run(); err != nil {
+			return written, fmt.Errorf("experiments: export %s: %w", j.name, err)
+		}
+	}
+	return written, nil
+}
+
+func putOr(err error, name string, t *report.Table, put func(string, *report.Table) error) error {
+	if err != nil {
+		return err
+	}
+	return put(name, t)
+}

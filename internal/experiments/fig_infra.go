@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"roamsim/internal/core"
+	"roamsim/internal/geo"
+	"roamsim/internal/ipx"
+	"roamsim/internal/mno"
+	"roamsim/internal/report"
+	"roamsim/internal/rng"
+	"roamsim/internal/stats"
+	"roamsim/internal/vmnocore"
+)
+
+// Figure3 maps the 21 roaming eSIMs: SGW (user) location, PGW location,
+// tunnel span, and architecture — the data behind the world map.
+func (r *Runner) Figure3() (*report.Table, error) {
+	src := rng.New(r.Cfg.Seed).Fork("fig3")
+	t := &report.Table{
+		Title: "Figure 3: SGW->PGW mapping for roaming eSIMs",
+		Headers: []string{"Country", "b-MNO", "User City", "PGW Site", "PGW Country",
+			"Distance (km)", "Arch", "Line", "Farther than b-MNO home"},
+	}
+	var farther, ihboSites int
+	for _, key := range r.W.DeploymentKeys(false, false) {
+		d := r.W.Deployments[key]
+		if d.BMNO.Name == d.VMNO.Name {
+			continue
+		}
+		// One representative attachment per allowed breakout.
+		seen := map[string]bool{}
+		for i := 0; i < 12; i++ {
+			s, err := d.AttachESIM(src)
+			if err != nil {
+				return nil, err
+			}
+			siteKey := s.Provider.Name + "/" + s.Site.City
+			if seen[siteKey] {
+				continue
+			}
+			seen[siteKey] = true
+			line := "dashed (IHBO)"
+			if s.Arch == ipx.HR {
+				line = "solid (HR)"
+			}
+			// The conclusion's headline: does the eSIM break out FARTHER
+			// from the user than the b-MNO's own country?
+			bmnoHome := geo.MustCountry(d.BMNO.Country).Center
+			pgwDist := geo.DistanceKm(d.Loc, s.Site.Loc)
+			homeDist := geo.DistanceKm(d.Loc, bmnoHome)
+			fartherStr := "no"
+			if s.Arch == ipx.IHBO {
+				ihboSites++
+				if pgwDist > homeDist {
+					farther++
+					fartherStr = "YES"
+				}
+			} else {
+				fartherStr = "-"
+			}
+			t.AddRow(key, d.BMNO.Name, d.Spec.City, s.Site.City, s.Site.Country,
+				fmt.Sprintf("%.0f", pgwDist), string(s.Arch), line, fartherStr)
+		}
+	}
+	t.AddRow("SUMMARY", "", "", "", "", "", "", "",
+		fmt.Sprintf("%d/%d IHBO breakouts farther than the b-MNO country (paper: 8/16)", farther, ihboSites))
+	return t, nil
+}
+
+// Figure4 focuses on the AS54825 (Packet Host) breakouts: which
+// countries' traffic lands in Amsterdam vs Virginia, and the suboptimal
+// cases where a closer PGW exists but isn't used.
+func (r *Runner) Figure4() (*report.Table, error) {
+	src := rng.New(r.Cfg.Seed).Fork("fig4")
+	ph := r.W.Providers["Packet Host"]
+	t := &report.Table{
+		Title: "Figure 4: eSIMs breaking out via Packet Host (AS54825)",
+		Headers: []string{"Country", "b-MNO", "PGW Site", "Distance (km)",
+			"Nearest PH Site", "Nearest (km)", "Suboptimal"},
+	}
+	for _, key := range r.W.DeploymentKeys(false, false) {
+		d := r.W.Deployments[key]
+		usesPH := false
+		var site ipx.PGWSite
+		for i := 0; i < 20 && !usesPH; i++ {
+			s, err := d.AttachESIM(src)
+			if err != nil {
+				return nil, err
+			}
+			if s.Provider.Name == "Packet Host" {
+				usesPH = true
+				site = s.Site
+			}
+		}
+		if !usesPH {
+			continue
+		}
+		dist := geo.DistanceKm(d.Loc, site.Loc)
+		// Nearest Packet Host site regardless of agreements.
+		nearest := ph.Sites[0]
+		nd := geo.DistanceKm(d.Loc, nearest.Loc)
+		for _, cand := range ph.Sites[1:] {
+			if dd := geo.DistanceKm(d.Loc, cand.Loc); dd < nd {
+				nearest, nd = cand, dd
+			}
+		}
+		sub := "no"
+		if dist > nd*1.2 {
+			sub = "YES"
+		}
+		t.AddRow(key, d.BMNO.Name, site.City, fmt.Sprintf("%.0f", dist),
+			nearest.City, fmt.Sprintf("%.0f", nd), sub)
+	}
+	return t, nil
+}
+
+// Figure5Result carries the v-MNO core comparison.
+type Figure5Result struct {
+	Table *report.Table
+	// Medians per group for data (MB/day) and signalling (msgs/day).
+	DataMedians map[string]float64
+	SigMedians  map[string]float64
+	// MinedRanges is the number of IMSI prefixes the miner extracted.
+	MinedRanges int
+	// Precision/Recall of the Airalo identification.
+	Precision, Recall float64
+}
+
+// Figure5 runs the full collaboration pipeline: seed 10 Airalo devices
+// in the UK v-MNO, look up their IMSIs by IMEI, mine the leased ranges,
+// partition the inbound Play roamers, and compare the data/signalling
+// consumption of inferred Airalo users vs ordinary Play roamers vs the
+// v-MNO's native users.
+func (r *Runner) Figure5() (*Figure5Result, error) {
+	src := rng.New(r.Cfg.Seed).Fork("fig5")
+	vmno := r.W.Operators["UK Partner MNO"]
+	play := r.W.Operators["Play"]
+	var airaloRange mno.IMSIRange
+	for _, rg := range play.Ranges() {
+		if rg.Label == "airalo" {
+			airaloRange = rg
+		}
+	}
+	if airaloRange.Prefix == "" {
+		return nil, fmt.Errorf("experiments: Play has no leased airalo range")
+	}
+	sim := vmnocore.New(vmno, play, airaloRange, src)
+	pop := sim.Population(1200, 500, 250)
+	seeded := sim.SeedDevices(10)
+	all := append(append([]vmnocore.Subscriber(nil), pop...), seeded...)
+
+	var seedIMSIs []mno.IMSI
+	for _, dev := range seeded {
+		imsi, ok := vmnocore.LookupIMSIByIMEI(all, dev.IMEI)
+		if !ok {
+			return nil, fmt.Errorf("experiments: seeded device missing from core")
+		}
+		seedIMSIs = append(seedIMSIs, imsi)
+	}
+	ranges, err := core.MineIMSIRanges(seedIMSIs, core.MineOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	obs := sim.ObserveMonth(all, 30)
+	groups := map[string][]float64{}
+	sig := map[string][]float64{}
+	var tp, fp, fn int
+	for _, o := range obs {
+		var label string
+		switch {
+		case o.Sub.IMSI.PLMNOf(2) == vmno.PLMN:
+			label = "native"
+		case ranges.Match(o.Sub.IMSI):
+			label = "airalo (inferred)"
+		default:
+			label = "play roamers"
+		}
+		groups[label] = append(groups[label], o.DataMB/30)
+		sig[label] = append(sig[label], o.SignallingMsg/30)
+		if o.Sub.IMSI.PLMNOf(2) == play.PLMN {
+			inferred := ranges.Match(o.Sub.IMSI)
+			truth := o.Sub.TrueGroup == vmnocore.GroupAiralo
+			switch {
+			case inferred && truth:
+				tp++
+			case inferred && !truth:
+				fp++
+			case !inferred && truth:
+				fn++
+			}
+		}
+	}
+
+	res := &Figure5Result{
+		DataMedians: map[string]float64{},
+		SigMedians:  map[string]float64{},
+		MinedRanges: len(ranges.Ranges),
+	}
+	if tp+fp > 0 {
+		res.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		res.Recall = float64(tp) / float64(tp+fn)
+	}
+	t := &report.Table{
+		Title:   "Figure 5: daily data/signalling per subscriber group (UK v-MNO core)",
+		Headers: []string{"Group", "N", "Data median (MB)", "Data Q1-Q3", "Signalling median (msg)", "Sig Q1-Q3"},
+	}
+	var labels []string
+	for l := range groups {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		db := stats.NewBoxplot(groups[l])
+		sb := stats.NewBoxplot(sig[l])
+		res.DataMedians[l] = db.Median
+		res.SigMedians[l] = sb.Median
+		t.AddRow(l, db.N,
+			fmt.Sprintf("%.0f", db.Median), fmt.Sprintf("%.0f-%.0f", db.Q1, db.Q3),
+			fmt.Sprintf("%.0f", sb.Median), fmt.Sprintf("%.0f-%.0f", sb.Q1, sb.Q3))
+	}
+	res.Table = t
+	return res, nil
+}

@@ -1,0 +1,260 @@
+package gtp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"roamsim/internal/ipaddr"
+)
+
+// This file implements wire-format encoding/decoding for the GTP-U
+// encapsulation stack (outer IPv4 + UDP + GTPv1-U), in the layered
+// style of packet libraries: each layer serializes itself and exposes
+// its payload. The simulator uses it to produce and parse byte-accurate
+// tunneled packets in tests and tools; nothing in the measurement
+// models depends on it, which mirrors how real IPX debugging equipment
+// sits beside the data path.
+
+// GTPUPort is the standard GTP-U UDP port.
+const GTPUPort = 2152
+
+// GTPv1U is a GTPv1-U header (TS 29.281). Optional fields (sequence
+// number, N-PDU, extension headers) are included when their flags are
+// set.
+type GTPv1U struct {
+	// Version is always 1; PT (protocol type) always 1 for GTP.
+	HasSeq  bool
+	HasNPDU bool
+	HasExt  bool
+	MsgType byte // 0xFF = G-PDU (encapsulated user packet)
+	TEID    TEID
+	Seq     uint16
+	NPDU    byte
+	NextExt byte
+	Payload []byte
+}
+
+// MsgTypeGPDU is the G-PDU message type carrying user traffic.
+const MsgTypeGPDU = 0xFF
+
+// headerLen returns the encoded header length.
+func (g *GTPv1U) headerLen() int {
+	n := 8
+	if g.HasSeq || g.HasNPDU || g.HasExt {
+		n += 4 // the optional fields come as a block
+	}
+	return n
+}
+
+// Marshal encodes the header plus payload.
+func (g *GTPv1U) Marshal() []byte {
+	buf := make([]byte, g.headerLen()+len(g.Payload))
+	flags := byte(1)<<5 | byte(1)<<4 // version=1, PT=1
+	if g.HasExt {
+		flags |= 1 << 2
+	}
+	if g.HasSeq {
+		flags |= 1 << 1
+	}
+	if g.HasNPDU {
+		flags |= 1
+	}
+	buf[0] = flags
+	buf[1] = g.MsgType
+	// Length covers everything after the first 8 bytes.
+	binary.BigEndian.PutUint16(buf[2:4], uint16(g.headerLen()-8+len(g.Payload)))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(g.TEID))
+	off := 8
+	if g.HasSeq || g.HasNPDU || g.HasExt {
+		binary.BigEndian.PutUint16(buf[8:10], g.Seq)
+		buf[10] = g.NPDU
+		buf[11] = g.NextExt
+		off = 12
+	}
+	copy(buf[off:], g.Payload)
+	return buf
+}
+
+// UnmarshalGTPv1U decodes a GTPv1-U packet.
+func UnmarshalGTPv1U(b []byte) (*GTPv1U, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("gtp: packet too short (%d bytes)", len(b))
+	}
+	flags := b[0]
+	if flags>>5 != 1 {
+		return nil, fmt.Errorf("gtp: unsupported GTP version %d", flags>>5)
+	}
+	if flags&(1<<4) == 0 {
+		return nil, fmt.Errorf("gtp: not GTP (PT=0 means GTP')")
+	}
+	g := &GTPv1U{
+		HasExt:  flags&(1<<2) != 0,
+		HasSeq:  flags&(1<<1) != 0,
+		HasNPDU: flags&1 != 0,
+		MsgType: b[1],
+		TEID:    TEID(binary.BigEndian.Uint32(b[4:8])),
+	}
+	length := int(binary.BigEndian.Uint16(b[2:4]))
+	if len(b) < 8+length {
+		return nil, fmt.Errorf("gtp: truncated packet: header says %d, have %d", length, len(b)-8)
+	}
+	off := 8
+	if g.HasSeq || g.HasNPDU || g.HasExt {
+		if length < 4 {
+			return nil, fmt.Errorf("gtp: optional flags set but length %d too small", length)
+		}
+		g.Seq = binary.BigEndian.Uint16(b[8:10])
+		g.NPDU = b[10]
+		g.NextExt = b[11]
+		if g.NextExt != 0 {
+			return nil, fmt.Errorf("gtp: extension headers not supported (type 0x%02x)", g.NextExt)
+		}
+		off = 12
+	}
+	g.Payload = append([]byte(nil), b[off:8+length]...)
+	return g, nil
+}
+
+// IPv4Header is a minimal IPv4 header (no options).
+type IPv4Header struct {
+	TTL      byte
+	Protocol byte // 17 = UDP
+	Src, Dst ipaddr.Addr
+	Payload  []byte
+}
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// Marshal encodes the header with a correct checksum.
+func (h *IPv4Header) Marshal() []byte {
+	total := 20 + len(h.Payload)
+	buf := make([]byte, total)
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
+	buf[8] = h.TTL
+	buf[9] = h.Protocol
+	binary.BigEndian.PutUint32(buf[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(h.Dst))
+	binary.BigEndian.PutUint16(buf[10:12], ipChecksum(buf[:20]))
+	copy(buf[20:], h.Payload)
+	return buf
+}
+
+// UnmarshalIPv4 decodes and validates an IPv4 packet.
+func UnmarshalIPv4(b []byte) (*IPv4Header, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("gtp: IPv4 packet too short")
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("gtp: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl != 20 {
+		return nil, fmt.Errorf("gtp: IPv4 options unsupported (IHL %d)", ihl)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total > len(b) || total < 20 {
+		return nil, fmt.Errorf("gtp: bad IPv4 total length %d", total)
+	}
+	if ipChecksum(b[:20]) != 0 {
+		return nil, fmt.Errorf("gtp: IPv4 checksum mismatch")
+	}
+	return &IPv4Header{
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      ipaddr.Addr(binary.BigEndian.Uint32(b[12:16])),
+		Dst:      ipaddr.Addr(binary.BigEndian.Uint32(b[16:20])),
+		Payload:  append([]byte(nil), b[20:total]...),
+	}, nil
+}
+
+// ipChecksum computes the RFC 1071 internet checksum. Over a header
+// whose checksum field is zeroed it returns the value to store; over a
+// full valid header it returns 0.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDPHeader is a UDP header (checksum omitted: legal over IPv4 and
+// standard practice for GTP-U on many cores).
+type UDPHeader struct {
+	Src, Dst uint16
+	Payload  []byte
+}
+
+// Marshal encodes the datagram.
+func (u *UDPHeader) Marshal() []byte {
+	buf := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], u.Src)
+	binary.BigEndian.PutUint16(buf[2:4], u.Dst)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(8+len(u.Payload)))
+	copy(buf[8:], u.Payload)
+	return buf
+}
+
+// UnmarshalUDP decodes a UDP datagram.
+func UnmarshalUDP(b []byte) (*UDPHeader, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("gtp: UDP datagram too short")
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < 8 || length > len(b) {
+		return nil, fmt.Errorf("gtp: bad UDP length %d", length)
+	}
+	return &UDPHeader{
+		Src:     binary.BigEndian.Uint16(b[0:2]),
+		Dst:     binary.BigEndian.Uint16(b[2:4]),
+		Payload: append([]byte(nil), b[8:length]...),
+	}, nil
+}
+
+// Encapsulate wraps an inner (user) packet for transport through the
+// tunnel: outer IPv4 from the SGW's transport address to the PGW's,
+// UDP on port 2152, GTP-U G-PDU with the tunnel's TEID.
+func (t *Tunnel) Encapsulate(sgwAddr, pgwAddr ipaddr.Addr, inner []byte, seq uint16) []byte {
+	g := &GTPv1U{HasSeq: true, MsgType: MsgTypeGPDU, TEID: t.TEID, Seq: seq, Payload: inner}
+	u := &UDPHeader{Src: GTPUPort, Dst: GTPUPort, Payload: g.Marshal()}
+	ip := &IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: sgwAddr, Dst: pgwAddr, Payload: u.Marshal()}
+	return ip.Marshal()
+}
+
+// Decapsulate parses an encapsulated packet and returns the inner
+// payload, verifying the TEID matches this tunnel.
+func (t *Tunnel) Decapsulate(b []byte) ([]byte, error) {
+	ip, err := UnmarshalIPv4(b)
+	if err != nil {
+		return nil, err
+	}
+	if ip.Protocol != ProtoUDP {
+		return nil, fmt.Errorf("gtp: outer protocol %d is not UDP", ip.Protocol)
+	}
+	u, err := UnmarshalUDP(ip.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if u.Dst != GTPUPort {
+		return nil, fmt.Errorf("gtp: UDP port %d is not GTP-U", u.Dst)
+	}
+	g, err := UnmarshalGTPv1U(u.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if g.MsgType != MsgTypeGPDU {
+		return nil, fmt.Errorf("gtp: message type 0x%02x is not G-PDU", g.MsgType)
+	}
+	if g.TEID != t.TEID {
+		return nil, fmt.Errorf("gtp: TEID %d does not match tunnel %d", g.TEID, t.TEID)
+	}
+	return g.Payload, nil
+}

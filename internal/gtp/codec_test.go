@@ -1,0 +1,296 @@
+package gtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"roamsim/internal/ipaddr"
+)
+
+func TestGTPv1URoundTrip(t *testing.T) {
+	cases := []*GTPv1U{
+		{MsgType: MsgTypeGPDU, TEID: 1, Payload: []byte("hello")},
+		{MsgType: MsgTypeGPDU, TEID: 0xFFFFFFFF, HasSeq: true, Seq: 4711, Payload: []byte{1, 2, 3}},
+		{MsgType: 0x01, TEID: 7, HasNPDU: true, NPDU: 9},
+		{MsgType: MsgTypeGPDU, TEID: 42, HasSeq: true, HasNPDU: true, Seq: 1, NPDU: 2},
+	}
+	for i, g := range cases {
+		b := g.Marshal()
+		got, err := UnmarshalGTPv1U(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.TEID != g.TEID || got.MsgType != g.MsgType || got.Seq != g.Seq ||
+			got.NPDU != g.NPDU || !bytes.Equal(got.Payload, g.Payload) {
+			t.Errorf("case %d round trip mismatch: %+v vs %+v", i, got, g)
+		}
+	}
+}
+
+func TestGTPv1URoundTripProperty(t *testing.T) {
+	f := func(teid uint32, seq uint16, payload []byte) bool {
+		g := &GTPv1U{MsgType: MsgTypeGPDU, TEID: TEID(teid), HasSeq: true, Seq: seq, Payload: payload}
+		got, err := UnmarshalGTPv1U(g.Marshal())
+		return err == nil && got.TEID == g.TEID && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGTPv1UDecodeErrors(t *testing.T) {
+	good := (&GTPv1U{MsgType: MsgTypeGPDU, TEID: 5, Payload: []byte("x")}).Marshal()
+	cases := map[string][]byte{
+		"short":     good[:4],
+		"version 2": append([]byte{0x50}, good[1:]...),
+		"GTP-prime": append([]byte{0x20}, good[1:]...),
+		"truncated": good[:len(good)-1],
+	}
+	// Fix up lengths where needed: "truncated" keeps the stated length.
+	for name, b := range cases {
+		if _, err := UnmarshalGTPv1U(b); err == nil {
+			t.Errorf("%s should fail to decode", name)
+		}
+	}
+	// Extension headers are declared unsupported, not silently skipped.
+	ext := &GTPv1U{MsgType: MsgTypeGPDU, TEID: 1, HasExt: true, NextExt: 0x85}
+	if _, err := UnmarshalGTPv1U(ext.Marshal()); err == nil {
+		t.Error("extension header should be rejected explicitly")
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	h := &IPv4Header{
+		TTL: 64, Protocol: ProtoUDP,
+		Src: ipaddr.MustParse("10.20.30.40"), Dst: ipaddr.MustParse("202.166.126.4"),
+		Payload: []byte("payload bytes"),
+	}
+	b := h.Marshal()
+	got, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.TTL != 64 || !bytes.Equal(got.Payload, h.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// Corrupting any header byte must break the checksum.
+	for i := 0; i < 20; i++ {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x40
+		if _, err := UnmarshalIPv4(c); err == nil && i != 8 && i != 0 {
+			// TTL changes break the checksum too; version nibble gives a
+			// different error. Any silent acceptance is a bug.
+			t.Errorf("corrupt byte %d accepted", i)
+		}
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := &UDPHeader{Src: GTPUPort, Dst: GTPUPort, Payload: []byte{9, 8, 7}}
+	got, err := UnmarshalUDP(u.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != GTPUPort || got.Dst != GTPUPort || !bytes.Equal(got.Payload, u.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalUDP([]byte{1, 2, 3}); err == nil {
+		t.Error("short datagram should fail")
+	}
+	bad := u.Marshal()
+	bad[5] = 200 // length > actual
+	if _, err := UnmarshalUDP(bad[:10]); err == nil {
+		t.Error("overlong declared length should fail")
+	}
+}
+
+func TestTunnelEncapsulateDecapsulate(t *testing.T) {
+	n, sgw, pgw := testNet(t)
+	m := NewManager(n)
+	tun, err := m.Create(sgw, pgw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgwAddr := ipaddr.MustParse("10.1.1.1")
+	pgwAddr := ipaddr.MustParse("202.166.126.4")
+	inner := []byte("user IP packet bytes")
+	wire := tun.Encapsulate(sgwAddr, pgwAddr, inner, 77)
+
+	// The wire format is parseable layer by layer.
+	ip, err := UnmarshalIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Src != sgwAddr || ip.Dst != pgwAddr {
+		t.Errorf("outer addresses wrong: %s -> %s", ip.Src, ip.Dst)
+	}
+	udp, err := UnmarshalUDP(ip.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.Dst != GTPUPort {
+		t.Errorf("UDP dst = %d", udp.Dst)
+	}
+	g, err := UnmarshalGTPv1U(udp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TEID != tun.TEID || g.Seq != 77 {
+		t.Errorf("GTP header: %+v", g)
+	}
+
+	// And the tunnel decapsulates its own packets.
+	out, err := tun.Decapsulate(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, inner) {
+		t.Error("inner payload corrupted")
+	}
+
+	// A packet for a different TEID is rejected.
+	other, err := m.Create(sgw, pgw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Decapsulate(wire); err == nil {
+		t.Error("wrong-TEID packet should be rejected")
+	}
+}
+
+func TestDecapsulateRejectsNonGTP(t *testing.T) {
+	n, sgw, pgw := testNet(t)
+	m := NewManager(n)
+	tun, _ := m.Create(sgw, pgw)
+	// Plain UDP on another port.
+	u := &UDPHeader{Src: 1234, Dst: 53, Payload: []byte("dns")}
+	ip := &IPv4Header{TTL: 64, Protocol: ProtoUDP,
+		Src: ipaddr.MustParse("10.0.0.1"), Dst: ipaddr.MustParse("10.0.0.2"),
+		Payload: u.Marshal()}
+	if _, err := tun.Decapsulate(ip.Marshal()); err == nil {
+		t.Error("non-GTP-U port should be rejected")
+	}
+	// Non-UDP protocol.
+	ip.Protocol = 6
+	if _, err := tun.Decapsulate(ip.Marshal()); err == nil {
+		t.Error("TCP outer should be rejected")
+	}
+	// Garbage.
+	if _, err := tun.Decapsulate([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+// EffectiveMTU must agree with the real encapsulation overhead.
+func TestOverheadMatchesEncapsulation(t *testing.T) {
+	n, sgw, pgw := testNet(t)
+	m := NewManager(n)
+	tun, _ := m.Create(sgw, pgw)
+	inner := make([]byte, 100)
+	wire := tun.Encapsulate(ipaddr.MustParse("10.0.0.1"), ipaddr.MustParse("202.166.126.4"), inner, 0)
+	overhead := len(wire) - len(inner)
+	// HeaderBytes documents 36 (IP 20 + UDP 8 + GTP 8); with the
+	// sequence-number block the wire carries 4 more.
+	if overhead != HeaderBytes+4 {
+		t.Errorf("overhead = %d, want %d (HeaderBytes + seq block)", overhead, HeaderBytes+4)
+	}
+}
+
+func TestPCAPRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pw, err := NewPCAPWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := [][]byte{
+		(&IPv4Header{TTL: 64, Protocol: ProtoUDP,
+			Src: ipaddr.MustParse("10.0.0.1"), Dst: ipaddr.MustParse("10.0.0.2"),
+			Payload: []byte("a")}).Marshal(),
+		(&IPv4Header{TTL: 32, Protocol: ProtoUDP,
+			Src: ipaddr.MustParse("202.166.126.4"), Dst: ipaddr.MustParse("10.0.0.1"),
+			Payload: []byte("bb")}).Marshal(),
+	}
+	for i, p := range pkts {
+		if err := pw.WritePacket(uint32(i), uint32(i*1000), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pw.Count() != 2 {
+		t.Errorf("Count = %d", pw.Count())
+	}
+	got, err := ReadPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Data, pkts[i]) {
+			t.Errorf("packet %d corrupted", i)
+		}
+		if got[i].Sec != uint32(i) || got[i].Usec != uint32(i*1000) {
+			t.Errorf("packet %d timestamps wrong: %+v", i, got[i])
+		}
+		// Every captured packet is a parseable raw-IP frame.
+		if _, err := UnmarshalIPv4(got[i].Data); err != nil {
+			t.Errorf("packet %d not valid IPv4: %v", i, err)
+		}
+	}
+}
+
+func TestPCAPReadErrors(t *testing.T) {
+	if _, err := ReadPCAP(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header should fail")
+	}
+	bad := make([]byte, 24)
+	if _, err := ReadPCAP(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestCaptureExchange(t *testing.T) {
+	n, sgw, pgw := testNet(t)
+	m := NewManager(n)
+	tun, _ := m.Create(sgw, pgw)
+	var buf bytes.Buffer
+	sgwAddr := ipaddr.MustParse("10.9.9.9")
+	pgwAddr := ipaddr.MustParse("202.166.126.4")
+	if err := tun.CaptureExchange(&buf, sgwAddr, pgwAddr, 10); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := ReadPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 10 {
+		t.Fatalf("captured %d packets", len(pkts))
+	}
+	// Timestamps advance monotonically with the tunnel delay.
+	for i := 1; i < len(pkts); i++ {
+		t0 := float64(pkts[i-1].Sec)*1e6 + float64(pkts[i-1].Usec)
+		t1 := float64(pkts[i].Sec)*1e6 + float64(pkts[i].Usec)
+		if t1 <= t0 {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+	// Uplink and downlink alternate; all decapsulate against the tunnel.
+	for i, rec := range pkts {
+		ip, err := UnmarshalIPv4(rec.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSrc := sgwAddr
+		if i%2 == 1 {
+			wantSrc = pgwAddr
+		}
+		if ip.Src != wantSrc {
+			t.Errorf("packet %d src = %s", i, ip.Src)
+		}
+		if _, err := tun.Decapsulate(rec.Data); err != nil {
+			t.Errorf("packet %d does not decapsulate: %v", i, err)
+		}
+	}
+}

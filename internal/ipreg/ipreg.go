@@ -1,0 +1,183 @@
+// Package ipreg is the simulator's equivalent of the ipinfo/WHOIS
+// databases the paper uses: it maps public IP addresses to the autonomous
+// system that announces them, the organization behind that AS, and a
+// city-level geolocation.
+//
+// The registry is authoritative by construction — the world builder
+// registers every prefix it assigns — which corresponds to the paper's
+// (validated) assumption that IP-to-ASN and IP-to-geo mappings for PGW
+// addresses are reliable.
+package ipreg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the ASN in the conventional "AS12345" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// OrgKind classifies the organization operating an AS. The tomography
+// classifier keys on this to tell an MNO's AS from an IPX/cloud provider's.
+type OrgKind string
+
+// Organization kinds.
+const (
+	KindMNO     OrgKind = "mno"     // mobile network operator
+	KindIPX     OrgKind = "ipx"     // IPX provider / PGW infrastructure
+	KindCloud   OrgKind = "cloud"   // cloud/hosting provider
+	KindContent OrgKind = "content" // content/service provider (Google, Facebook, ...)
+	KindTransit OrgKind = "transit" // IP transit carrier
+	KindOther   OrgKind = "other"   // anything else
+)
+
+// AS describes one autonomous system.
+type AS struct {
+	Number  ASN
+	Org     string  // organization name, e.g. "Singtel"
+	Country string  // ISO3 of the org's registration country
+	Kind    OrgKind // classification used by the tomography layer
+}
+
+// Info is the result of an IP lookup: the AS plus prefix-level geolocation.
+type Info struct {
+	Addr    ipaddr.Addr
+	AS      AS
+	Prefix  ipaddr.Prefix
+	City    string // geolocation city name
+	Country string // geolocation ISO3 (may differ from AS registration country)
+	Loc     geo.Point
+}
+
+// Registry maps prefixes to announcing ASes with geolocation.
+// It is safe for concurrent lookups after construction; registrations and
+// lookups may also be interleaved (guarded by a mutex) because the amigo
+// testbed registers endpoints while measurements run.
+type Registry struct {
+	mu       sync.RWMutex
+	ases     map[ASN]AS
+	prefixes []entry // sorted by base address for binary search
+	sorted   bool
+}
+
+type entry struct {
+	prefix  ipaddr.Prefix
+	asn     ASN
+	city    string
+	country string
+	loc     geo.Point
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ases: make(map[ASN]AS)}
+}
+
+// RegisterAS adds or replaces an AS record.
+func (r *Registry) RegisterAS(as AS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ases[as.Number] = as
+}
+
+// RegisterPrefix announces prefix from asn, geolocated at the given city.
+// The AS must already be registered. Overlapping prefixes are allowed;
+// lookups prefer the most specific (longest) match, as real routing does.
+func (r *Registry) RegisterPrefix(p ipaddr.Prefix, asn ASN, city string, country string, loc geo.Point) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ases[asn]; !ok {
+		return fmt.Errorf("ipreg: prefix %s announced by unregistered %s", p, asn)
+	}
+	r.prefixes = append(r.prefixes, entry{p, asn, city, country, loc})
+	r.sorted = false
+	return nil
+}
+
+// MustRegisterPrefix is RegisterPrefix but panics on error.
+func (r *Registry) MustRegisterPrefix(p ipaddr.Prefix, asn ASN, city string, country string, loc geo.Point) {
+	if err := r.RegisterPrefix(p, asn, city, country, loc); err != nil {
+		panic(err)
+	}
+}
+
+// LookupAS returns the AS record for a number.
+func (r *Registry) LookupAS(asn ASN) (AS, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	as, ok := r.ases[asn]
+	return as, ok
+}
+
+// Lookup resolves an address to its most-specific registered prefix.
+// Private addresses never resolve: like the paper's traceroute analysis,
+// hops inside GTP tunnels and provider cores are invisible to WHOIS.
+func (r *Registry) Lookup(a ipaddr.Addr) (Info, bool) {
+	if a.IsPrivate() {
+		return Info{}, false
+	}
+	r.mu.Lock()
+	if !r.sorted {
+		sort.Slice(r.prefixes, func(i, j int) bool {
+			if r.prefixes[i].prefix.Base != r.prefixes[j].prefix.Base {
+				return r.prefixes[i].prefix.Base < r.prefixes[j].prefix.Base
+			}
+			return r.prefixes[i].prefix.Bits < r.prefixes[j].prefix.Bits
+		})
+		r.sorted = true
+	}
+	prefixes := r.prefixes
+	ases := r.ases
+	r.mu.Unlock()
+
+	// Binary search for the last prefix whose base is <= a, then scan
+	// backwards for the longest containing prefix. Containing prefixes
+	// always have base <= a, so the backward scan is sufficient.
+	// Registries here hold hundreds of entries, so the scan is cheap.
+	i := sort.Search(len(prefixes), func(i int) bool { return prefixes[i].prefix.Base > a }) - 1
+	best := -1
+	for j := i; j >= 0; j-- {
+		e := prefixes[j]
+		if e.prefix.Contains(a) && (best == -1 || e.prefix.Bits > prefixes[best].prefix.Bits) {
+			best = j
+		}
+	}
+	if best < 0 {
+		return Info{}, false
+	}
+	e := prefixes[best]
+	return Info{
+		Addr:    a,
+		AS:      ases[e.asn],
+		Prefix:  e.prefix,
+		City:    e.city,
+		Country: e.country,
+		Loc:     e.loc,
+	}, true
+}
+
+// ASes returns all registered AS records sorted by number.
+func (r *Registry) ASes() []AS {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]AS, 0, len(r.ases))
+	for _, as := range r.ases {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// PrefixCount returns the number of registered prefixes.
+func (r *Registry) PrefixCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.prefixes)
+}

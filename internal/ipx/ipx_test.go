@@ -1,0 +1,278 @@
+package ipx
+
+import (
+	"testing"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/rng"
+)
+
+func addrs(ss ...string) []ipaddr.Addr {
+	out := make([]ipaddr.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = ipaddr.MustParse(s)
+	}
+	return out
+}
+
+func testProviders() (packetHost, ovh, singtel *PGWProvider) {
+	packetHost = &PGWProvider{
+		Name: "Packet Host", ASN: 54825, Policy: AssignUniform, PrivateHops: 6,
+		Sites: []PGWSite{
+			{City: "Amsterdam", Country: "NLD", Loc: geo.MustCity("Amsterdam").Loc,
+				Addrs: addrs("147.75.32.1", "147.75.32.2")},
+			{City: "Ashburn", Country: "USA", Loc: geo.MustCity("Ashburn").Loc,
+				Addrs: addrs("147.75.64.1", "147.75.64.2")},
+		},
+	}
+	ovh = &PGWProvider{
+		Name: "OVH SAS", ASN: 16276, Policy: AssignPerBMNO, PrivateHops: 3,
+		Sites: []PGWSite{
+			{City: "Lille", Country: "FRA", Loc: geo.MustCity("Lille").Loc,
+				Addrs: addrs("51.38.1.1", "51.38.1.2", "51.38.1.3", "51.38.1.4", "51.38.1.5")},
+			{City: "Wattrelos", Country: "FRA", Loc: geo.MustCity("Wattrelos").Loc,
+				Addrs: addrs("51.38.2.1")},
+		},
+		Assignments: map[string][]ipaddr.Addr{
+			"Telna Mobile": addrs("51.38.1.1"),
+			"Play":         addrs("51.38.1.2", "51.38.1.3", "51.38.1.4", "51.38.1.5"),
+		},
+	}
+	singtel = &PGWProvider{
+		Name: "Singtel", ASN: 45143, Policy: AssignUniform, PrivateHops: 8,
+		Sites: []PGWSite{
+			{City: "Singapore", Country: "SGP", Loc: geo.MustCity("Singapore").Loc,
+				Addrs: addrs("202.166.126.1", "202.166.126.2", "202.166.126.3", "202.166.126.4")},
+		},
+	}
+	return
+}
+
+func TestAgreementValidate(t *testing.T) {
+	ph, _, _ := testProviders()
+	good := &Agreement{BMNOName: "Play", Arch: IHBO,
+		Options: []AgreementOption{{Provider: ph, SiteCity: "Amsterdam", Weight: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid agreement rejected: %v", err)
+	}
+	bad := []*Agreement{
+		{BMNOName: "x", Arch: IHBO},
+		{BMNOName: "x", Arch: "weird", Options: good.Options},
+		{BMNOName: "x", Arch: IHBO, Options: []AgreementOption{{Provider: ph, SiteCity: "Atlantis"}}},
+		{BMNOName: "x", Arch: IHBO, Options: []AgreementOption{{Provider: nil, SiteCity: "Amsterdam"}}},
+		{BMNOName: "x", Arch: IHBO, Options: []AgreementOption{{Provider: ph, SiteCity: "Amsterdam", Weight: -1}}},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad agreement %d accepted", i)
+		}
+	}
+}
+
+func TestStaticSelectorIgnoresLocation(t *testing.T) {
+	ph, _, _ := testProviders()
+	sel, err := NewStaticSelector([]*Agreement{
+		{BMNOName: "Polkomtel", Arch: IHBO,
+			Options: []AgreementOption{{Provider: ph, SiteCity: "Ashburn", Weight: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	// A user in Paris and a user in Tashkent both break out in Virginia —
+	// the France/Uzbekistan finding of Figure 4.
+	for _, loc := range []geo.Point{geo.MustCity("Paris").Loc, geo.MustCity("Tashkent").Loc} {
+		b, err := sel.Select("Polkomtel", loc, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Site.City != "Ashburn" || b.Arch != IHBO {
+			t.Errorf("breakout = %s/%s, want Ashburn/IHBO", b.Site.City, b.Arch)
+		}
+	}
+}
+
+func TestStaticSelectorAlternates(t *testing.T) {
+	ph, ovh, _ := testProviders()
+	sel, err := NewStaticSelector([]*Agreement{
+		{BMNOName: "Play", Arch: IHBO, Options: []AgreementOption{
+			{Provider: ph, SiteCity: "Amsterdam", Weight: 1},
+			{Provider: ovh, SiteCity: "Lille", Weight: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	seen := map[string]int{}
+	for i := 0; i < 400; i++ {
+		b, err := sel.Select("Play", geo.Point{}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[b.Provider.Name]++
+	}
+	if seen["Packet Host"] < 100 || seen["OVH SAS"] < 100 {
+		t.Errorf("providers should alternate, got %v", seen)
+	}
+}
+
+func TestPerBMNOAssignment(t *testing.T) {
+	_, ovh, _ := testProviders()
+	sel, err := NewStaticSelector([]*Agreement{
+		{BMNOName: "Telna Mobile", Arch: IHBO,
+			Options: []AgreementOption{{Provider: ovh, SiteCity: "Lille"}}},
+		{BMNOName: "Play", Arch: IHBO,
+			Options: []AgreementOption{{Provider: ovh, SiteCity: "Lille"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	pinned := ipaddr.MustParse("51.38.1.1")
+	playSeen := map[ipaddr.Addr]bool{}
+	for i := 0; i < 300; i++ {
+		bt, _ := sel.Select("Telna Mobile", geo.Point{}, src)
+		if bt.Addr != pinned {
+			t.Fatalf("Telna must be pinned to %s, got %s", pinned, bt.Addr)
+		}
+		bp, _ := sel.Select("Play", geo.Point{}, src)
+		if bp.Addr == pinned {
+			t.Fatalf("Play must never use Telna's pinned address")
+		}
+		playSeen[bp.Addr] = true
+	}
+	if len(playSeen) != 4 {
+		t.Errorf("Play should rotate across 4 addresses, saw %d", len(playSeen))
+	}
+}
+
+func TestUnknownBMNO(t *testing.T) {
+	sel, _ := NewStaticSelector(nil)
+	if _, err := sel.Select("Nobody", geo.Point{}, rng.New(4)); err == nil {
+		t.Error("unknown b-MNO should error")
+	}
+}
+
+func TestDuplicateAgreementRejected(t *testing.T) {
+	ph, _, _ := testProviders()
+	opts := []AgreementOption{{Provider: ph, SiteCity: "Amsterdam"}}
+	_, err := NewStaticSelector([]*Agreement{
+		{BMNOName: "Play", Arch: IHBO, Options: opts},
+		{BMNOName: "Play", Arch: IHBO, Options: opts},
+	})
+	if err == nil {
+		t.Error("duplicate agreements should be rejected")
+	}
+}
+
+func TestGeoNearestSelector(t *testing.T) {
+	ph, ovh, singtel := testProviders()
+	g := &GeoNearestSelector{Arch: IHBO, Pool: []*PGWProvider{ph, ovh, singtel}}
+	src := rng.New(5)
+	// A user in Paris should break out at Lille/Wattrelos (OVH), not
+	// Singapore or Ashburn.
+	b, err := g.Select("Play", geo.MustCity("Paris").Loc, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Provider.Name != "OVH SAS" {
+		t.Errorf("Paris user routed to %s/%s", b.Provider.Name, b.Site.City)
+	}
+	// A user in Kuala Lumpur should get Singapore.
+	b, err = g.Select("Play", geo.MustCity("Kuala Lumpur").Loc, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Site.City != "Singapore" {
+		t.Errorf("KL user routed to %s", b.Site.City)
+	}
+	empty := &GeoNearestSelector{Arch: IHBO}
+	if _, err := empty.Select("Play", geo.Point{}, src); err == nil {
+		t.Error("empty pool should error")
+	}
+}
+
+func TestProviderSiteLookup(t *testing.T) {
+	ph, _, _ := testProviders()
+	s, ok := ph.Site(ipaddr.MustParse("147.75.64.2"))
+	if !ok || s.City != "Ashburn" {
+		t.Errorf("Site lookup: ok=%v city=%s", ok, s.City)
+	}
+	if _, ok := ph.Site(ipaddr.MustParse("1.2.3.4")); ok {
+		t.Error("foreign address should not resolve to a site")
+	}
+	if got := len(ph.AllAddrs()); got != 4 {
+		t.Errorf("AllAddrs = %d, want 4", got)
+	}
+}
+
+func TestStickyPolicy(t *testing.T) {
+	p := &PGWProvider{Name: "Wireless Logic", ASN: 51320, Policy: AssignSticky,
+		Sites: []PGWSite{{City: "London", Country: "GBR", Loc: geo.MustCity("London").Loc,
+			Addrs: addrs("94.1.1.1", "94.1.1.2")}}}
+	sel, err := NewStaticSelector([]*Agreement{
+		{BMNOName: "Telecom Italia", Arch: IHBO,
+			Options: []AgreementOption{{Provider: p, SiteCity: "London"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(6)
+	first, _ := sel.Select("Telecom Italia", geo.Point{}, src)
+	for i := 0; i < 50; i++ {
+		b, _ := sel.Select("Telecom Italia", geo.Point{}, src)
+		if b.Addr != first.Addr {
+			t.Fatal("sticky policy must always return the same address")
+		}
+	}
+}
+
+func TestAgreementLookup(t *testing.T) {
+	ph, _, _ := testProviders()
+	sel, err := NewStaticSelector([]*Agreement{
+		{BMNOName: "Play", Arch: IHBO,
+			Options: []AgreementOption{{Provider: ph, SiteCity: "Amsterdam"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := sel.Agreement("Play")
+	if !ok || a.Arch != IHBO {
+		t.Errorf("Agreement lookup: ok=%v %+v", ok, a)
+	}
+	if _, ok := sel.Agreement("Nobody"); ok {
+		t.Error("unknown b-MNO should miss")
+	}
+}
+
+func TestPickBreakoutDirect(t *testing.T) {
+	ph, ovh, _ := testProviders()
+	src := rng.New(42)
+	opts := []AgreementOption{
+		{Provider: ph, SiteCity: "Amsterdam", Weight: 1},
+		{Provider: ovh, SiteCity: "Lille", Weight: 1},
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		b, err := PickBreakout(IHBO, opts, "Play", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Arch != IHBO {
+			t.Fatal("arch not propagated")
+		}
+		seen[b.Provider.Name] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("alternation missing: %v", seen)
+	}
+	if _, err := PickBreakout(IHBO, nil, "Play", src); err == nil {
+		t.Error("empty options should error")
+	}
+	bad := []AgreementOption{{Provider: ph, SiteCity: "Atlantis"}}
+	if _, err := PickBreakout(IHBO, bad, "Play", src); err == nil {
+		t.Error("unknown site should error")
+	}
+}

@@ -1,0 +1,239 @@
+// Package mno models mobile network operators and subscriber identity:
+// PLMN codes (MCC/MNC), IMSI allocation and rented IMSI ranges, physical
+// SIM and eSIM profiles, and the radio-level context (RAT, CQI) the
+// device campaign records.
+//
+// The distinction the paper builds on is carried here explicitly: a
+// profile has an *issuer* (the b-MNO whose MCC-MNC appears in the APN
+// settings) which may differ from both the user's home operator and the
+// visited operator the device attaches to.
+package mno
+
+import (
+	"fmt"
+	"strings"
+
+	"roamsim/internal/ipreg"
+	"roamsim/internal/rng"
+)
+
+// PLMN is a public land mobile network code: MCC (3 digits) + MNC (2-3).
+type PLMN struct {
+	MCC string
+	MNC string
+}
+
+// String renders "MCC-MNC".
+func (p PLMN) String() string { return p.MCC + "-" + p.MNC }
+
+// Valid reports whether both fields are well-formed digit strings.
+func (p PLMN) Valid() bool {
+	if len(p.MCC) != 3 || (len(p.MNC) != 2 && len(p.MNC) != 3) {
+		return false
+	}
+	for _, r := range p.MCC + p.MNC {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// IMSI is an international mobile subscriber identity (15 digits).
+type IMSI string
+
+// PLMNOf extracts the PLMN from an IMSI assuming a 2-digit MNC, falling
+// back to 3 digits when the caller's known PLMN table says so. The
+// pattern-mining code in the core package deals with the ambiguity the
+// way the paper does: by matching against known operator prefixes.
+func (i IMSI) PLMNOf(mncLen int) PLMN {
+	s := string(i)
+	if len(s) < 5 || mncLen < 2 || mncLen > 3 || len(s) < 3+mncLen {
+		return PLMN{}
+	}
+	return PLMN{MCC: s[:3], MNC: s[3 : 3+mncLen]}
+}
+
+// Valid reports whether the IMSI is 15 digits.
+func (i IMSI) Valid() bool {
+	if len(i) != 15 {
+		return false
+	}
+	for _, r := range i {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// IMSIRange is a contiguous block of IMSIs identified by a shared prefix,
+// the unit in which operators lease identity space to aggregators
+// ("a limited, pre-determined range of Play IMSIs are rented to Airalo").
+type IMSIRange struct {
+	Prefix string // full digit prefix, e.g. "26006731"
+	Label  string // who the range is assigned to, e.g. "airalo"
+}
+
+// Contains reports whether the IMSI falls in the range.
+func (r IMSIRange) Contains(i IMSI) bool {
+	return strings.HasPrefix(string(i), r.Prefix)
+}
+
+// Operator is a mobile network operator (or MVNO).
+type Operator struct {
+	Name    string
+	PLMN    PLMN
+	Country string    // ISO3 of the home country
+	ASN     ipreg.ASN // AS announcing the operator's public address space
+	// MVNO marks operators without their own radio network; Parent names
+	// the host MNO (the Korea physical SIM case: U+ UMobile on LG UPlus).
+	MVNO   bool
+	Parent string
+
+	ranges []IMSIRange
+	nextID uint64
+}
+
+// LeaseRange reserves an IMSI prefix block under this operator's PLMN for
+// the named tenant and returns it. Prefixes must extend the operator's
+// own PLMN prefix.
+func (o *Operator) LeaseRange(suffix, label string) (IMSIRange, error) {
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return IMSIRange{}, fmt.Errorf("mno: bad range suffix %q", suffix)
+		}
+	}
+	prefix := o.PLMN.MCC + o.PLMN.MNC + suffix
+	if len(prefix) >= 15 {
+		return IMSIRange{}, fmt.Errorf("mno: prefix %q too long", prefix)
+	}
+	for _, existing := range o.ranges {
+		if strings.HasPrefix(prefix, existing.Prefix) || strings.HasPrefix(existing.Prefix, prefix) {
+			return IMSIRange{}, fmt.Errorf("mno: range %q overlaps %q", prefix, existing.Prefix)
+		}
+	}
+	rg := IMSIRange{Prefix: prefix, Label: label}
+	o.ranges = append(o.ranges, rg)
+	return rg, nil
+}
+
+// MustLeaseRange is LeaseRange but panics on error.
+func (o *Operator) MustLeaseRange(suffix, label string) IMSIRange {
+	rg, err := o.LeaseRange(suffix, label)
+	if err != nil {
+		panic(err)
+	}
+	return rg
+}
+
+// Ranges returns the leased ranges.
+func (o *Operator) Ranges() []IMSIRange {
+	return append([]IMSIRange(nil), o.ranges...)
+}
+
+// NewIMSI mints the next IMSI inside the given range (which must belong
+// to this operator's PLMN space).
+func (o *Operator) NewIMSI(rg IMSIRange) IMSI {
+	o.nextID++
+	digitsLeft := 15 - len(rg.Prefix)
+	imsi := IMSI(fmt.Sprintf("%s%0*d", rg.Prefix, digitsLeft, o.nextID))
+	if !imsi.Valid() {
+		panic(fmt.Sprintf("mno: generated invalid IMSI %s", imsi))
+	}
+	return imsi
+}
+
+// OwnRange returns the operator's default (retail) IMSI range.
+func (o *Operator) OwnRange() IMSIRange {
+	return IMSIRange{Prefix: o.PLMN.MCC + o.PLMN.MNC, Label: o.Name}
+}
+
+// SIMKind distinguishes the two device campaign configurations.
+type SIMKind string
+
+// SIM kinds.
+const (
+	PhysicalSIM SIMKind = "sim"
+	ESIM        SIMKind = "esim"
+)
+
+// Profile is a SIM/eSIM profile as provisioned to a device.
+type Profile struct {
+	ID     string
+	Kind   SIMKind
+	Issuer *Operator // the b-MNO (whose MCC-MNC shows in APN settings)
+	IMSI   IMSI
+	APN    string
+	// Aggregator is the MNA that sold the profile ("airalo", "emnify"),
+	// empty for plain operator SIMs.
+	Aggregator string
+}
+
+// NewProfile provisions a profile from issuer within range rg.
+func NewProfile(id string, kind SIMKind, issuer *Operator, rg IMSIRange, apn, aggregator string) *Profile {
+	return &Profile{
+		ID:         id,
+		Kind:       kind,
+		Issuer:     issuer,
+		IMSI:       issuer.NewIMSI(rg),
+		APN:        apn,
+		Aggregator: aggregator,
+	}
+}
+
+// RAT is a radio access technology generation.
+type RAT string
+
+// Radio access technologies observed in the campaigns.
+const (
+	RAT4G RAT = "4G"
+	RAT5G RAT = "5G"
+)
+
+// RadioSample is the radio context snapshot an AmiGo measurement endpoint
+// reports alongside each test.
+type RadioSample struct {
+	RAT  RAT
+	CQI  int     // channel quality indicator, 0-15
+	RSSI float64 // dBm
+	SNR  float64 // dB
+}
+
+// MinUsableCQI is the paper's filter threshold: measurements with CQI < 7
+// (QPSK territory) are excluded from bandwidth analysis.
+const MinUsableCQI = 7
+
+// RadioConditions parameterize the radio environment of a deployment.
+type RadioConditions struct {
+	// FiveGShare is the probability a sample is taken on 5G.
+	FiveGShare float64
+	// MeanCQI is the center of the CQI distribution (clamped to 1..15).
+	MeanCQI float64
+}
+
+// Sample draws a radio snapshot for the given conditions.
+func (rc RadioConditions) Sample(src *rng.Source) RadioSample {
+	rat := RAT4G
+	if src.Bool(rc.FiveGShare) {
+		rat = RAT5G
+	}
+	mean := rc.MeanCQI
+	if mean == 0 {
+		mean = 10
+	}
+	cqi := int(src.Normal(mean, 2.5) + 0.5)
+	if cqi < 1 {
+		cqi = 1
+	}
+	if cqi > 15 {
+		cqi = 15
+	}
+	// RSSI/SNR loosely tied to CQI: good channels are strong channels.
+	rssi := -110 + float64(cqi)*3 + src.Normal(0, 3)
+	snr := -5 + float64(cqi)*1.8 + src.Normal(0, 1.5)
+	return RadioSample{RAT: rat, CQI: cqi, RSSI: rssi, SNR: snr}
+}
+
+// Usable reports whether the sample passes the paper's CQI filter.
+func (s RadioSample) Usable() bool { return s.CQI >= MinUsableCQI }

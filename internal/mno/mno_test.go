@@ -1,0 +1,195 @@
+package mno
+
+import (
+	"strings"
+	"testing"
+
+	"roamsim/internal/rng"
+)
+
+func playPoland() *Operator {
+	return &Operator{
+		Name:    "Play",
+		PLMN:    PLMN{MCC: "260", MNC: "06"},
+		Country: "POL",
+		ASN:     12912,
+	}
+}
+
+func TestPLMN(t *testing.T) {
+	p := PLMN{MCC: "260", MNC: "06"}
+	if p.String() != "260-06" {
+		t.Errorf("String = %s", p.String())
+	}
+	if !p.Valid() {
+		t.Error("valid PLMN reported invalid")
+	}
+	for _, bad := range []PLMN{
+		{MCC: "26", MNC: "06"},
+		{MCC: "2600", MNC: "06"},
+		{MCC: "260", MNC: "0"},
+		{MCC: "260", MNC: "0606"},
+		{MCC: "26a", MNC: "06"},
+	} {
+		if bad.Valid() {
+			t.Errorf("%v should be invalid", bad)
+		}
+	}
+}
+
+func TestIMSIValidAndPLMNOf(t *testing.T) {
+	i := IMSI("260067310000042")
+	if !i.Valid() {
+		t.Error("15-digit IMSI invalid")
+	}
+	if IMSI("26006").Valid() || IMSI("26006731000004x").Valid() {
+		t.Error("malformed IMSIs accepted")
+	}
+	if got := i.PLMNOf(2); got.String() != "260-06" {
+		t.Errorf("PLMNOf(2) = %s", got)
+	}
+	if got := i.PLMNOf(3); got.String() != "260-067" {
+		t.Errorf("PLMNOf(3) = %s", got)
+	}
+	if got := IMSI("12").PLMNOf(2); got != (PLMN{}) {
+		t.Error("short IMSI should give zero PLMN")
+	}
+}
+
+func TestLeaseRangeAndMint(t *testing.T) {
+	op := playPoland()
+	airalo := op.MustLeaseRange("731", "airalo")
+	if airalo.Prefix != "26006731" {
+		t.Errorf("prefix = %s", airalo.Prefix)
+	}
+	imsi := op.NewIMSI(airalo)
+	if !imsi.Valid() || !airalo.Contains(imsi) {
+		t.Errorf("minted IMSI %s invalid or outside range", imsi)
+	}
+	// Sequential IMSIs are distinct.
+	seen := map[IMSI]bool{}
+	for i := 0; i < 1000; i++ {
+		m := op.NewIMSI(airalo)
+		if seen[m] {
+			t.Fatalf("duplicate IMSI %s", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestLeaseRangeOverlapRejected(t *testing.T) {
+	op := playPoland()
+	op.MustLeaseRange("731", "airalo")
+	if _, err := op.LeaseRange("731", "other"); err == nil {
+		t.Error("identical range should be rejected")
+	}
+	if _, err := op.LeaseRange("7315", "other"); err == nil {
+		t.Error("nested range should be rejected")
+	}
+	if _, err := op.LeaseRange("7", "other"); err == nil {
+		t.Error("covering range should be rejected")
+	}
+	if _, err := op.LeaseRange("732", "other"); err != nil {
+		t.Errorf("disjoint range rejected: %v", err)
+	}
+	if _, err := op.LeaseRange("73a", "x"); err == nil {
+		t.Error("non-digit suffix should be rejected")
+	}
+	if _, err := op.LeaseRange(strings.Repeat("9", 11), "x"); err == nil {
+		t.Error("overlong prefix should be rejected")
+	}
+}
+
+func TestOwnRangeContainsLeased(t *testing.T) {
+	op := playPoland()
+	leased := op.MustLeaseRange("731", "airalo")
+	own := op.OwnRange()
+	imsi := op.NewIMSI(leased)
+	if !own.Contains(imsi) {
+		t.Error("operator's own range must contain leased IMSIs (this is why v-MNOs can't tell Airalo users apart)")
+	}
+}
+
+func TestNewProfile(t *testing.T) {
+	op := playPoland()
+	rg := op.MustLeaseRange("731", "airalo")
+	p := NewProfile("esim-GEO", ESIM, op, rg, "internet", "airalo")
+	if p.Issuer.Name != "Play" || p.Kind != ESIM || p.Aggregator != "airalo" {
+		t.Errorf("profile wrong: %+v", p)
+	}
+	if !rg.Contains(p.IMSI) {
+		t.Error("profile IMSI outside leased range")
+	}
+}
+
+func TestRadioSampleDistribution(t *testing.T) {
+	src := rng.New(1)
+	rc := RadioConditions{FiveGShare: 0.7, MeanCQI: 11}
+	var fiveG, usable int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := rc.Sample(src)
+		if s.CQI < 1 || s.CQI > 15 {
+			t.Fatalf("CQI out of range: %d", s.CQI)
+		}
+		if s.RAT == RAT5G {
+			fiveG++
+		}
+		if s.Usable() {
+			usable++
+		}
+	}
+	if f := float64(fiveG) / n; f < 0.65 || f > 0.75 {
+		t.Errorf("5G share = %f, want ~0.7", f)
+	}
+	// MeanCQI 11 with sd 2.5: the vast majority pass the CQI≥7 filter.
+	if f := float64(usable) / n; f < 0.9 {
+		t.Errorf("usable fraction = %f, want > 0.9", f)
+	}
+}
+
+func TestRadioSamplePoorChannel(t *testing.T) {
+	src := rng.New(2)
+	rc := RadioConditions{FiveGShare: 0, MeanCQI: 5}
+	var usable int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if rc.Sample(src).Usable() {
+			usable++
+		}
+	}
+	// Mean 5, sd 2.5: most samples fail the filter — this is the ~20%
+	// exclusion mechanism the paper applies (749 -> 604 measurements).
+	if f := float64(usable) / n; f > 0.45 {
+		t.Errorf("poor channel usable fraction = %f, want < 0.45", f)
+	}
+}
+
+func TestRadioDefaultsAndCQIBounds(t *testing.T) {
+	src := rng.New(3)
+	rc := RadioConditions{} // MeanCQI defaults to 10
+	for i := 0; i < 1000; i++ {
+		s := rc.Sample(src)
+		if s.RAT != RAT4G {
+			t.Fatal("FiveGShare 0 must always be 4G")
+		}
+		if s.CQI < 1 || s.CQI > 15 {
+			t.Fatalf("CQI %d out of bounds", s.CQI)
+		}
+	}
+}
+
+func TestRSSITracksCQI(t *testing.T) {
+	src := rng.New(4)
+	good := RadioConditions{MeanCQI: 14}
+	bad := RadioConditions{MeanCQI: 3}
+	var sumGood, sumBad float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sumGood += good.Sample(src).RSSI
+		sumBad += bad.Sample(src).RSSI
+	}
+	if sumGood/n <= sumBad/n {
+		t.Error("better channel should have higher mean RSSI")
+	}
+}

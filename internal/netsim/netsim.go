@@ -1,0 +1,423 @@
+// Package netsim implements the network substrate for the reproduction:
+// a geo-aware graph of nodes and links over which the measurement tools
+// (traceroute, speedtest, CDN fetch, DNS probe) are evaluated.
+//
+// The model is deliberately at the level the paper measures:
+//
+//   - every link carries a one-way delay derived from great-circle
+//     distance over fiber, plus an optional peering penalty capturing
+//     interconnection-agreement quality (Section 4.3's takeaway is that
+//     such penalties, not distance, often dominate);
+//   - every link carries a bandwidth; path throughput is the bottleneck
+//     further constrained by policy caps at the measurement layer;
+//   - nodes answer (or don't answer) ICMP TTL-exceeded probes with a
+//     configurable probability, reproducing the silent CG-NATs the paper
+//     observes in Germany and Qatar;
+//   - nodes expose either a private (RFC 1918 / CGN) or a public address,
+//     which is exactly the signal the tomography demarcation step uses.
+//
+// Routing is shortest-delay (Dijkstra) with deterministic tie-breaking,
+// computed on demand and cached.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/rng"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// NodeKind labels the functional role of a node. Kinds matter to the
+// measurement layer (e.g. a traceroute starts at a UE and the GTP segment
+// ends at a PGW) but not to routing.
+type NodeKind string
+
+// Node kinds.
+const (
+	KindUE       NodeKind = "ue"       // user equipment (measurement device)
+	KindBaseSta  NodeKind = "bs"       // base station / eNodeB
+	KindSGW      NodeKind = "sgw"      // serving gateway (visited network)
+	KindIPXRelay NodeKind = "ipx"      // IPX backbone relay
+	KindPGW      NodeKind = "pgw"      // packet data network gateway
+	KindCGNAT    NodeKind = "cgnat"    // carrier-grade NAT
+	KindRouter   NodeKind = "router"   // generic public-internet router
+	KindServer   NodeKind = "server"   // service endpoint (SP edge, CDN POP, Ookla)
+	KindResolver NodeKind = "resolver" // DNS resolver
+)
+
+// Node is one element of the simulated topology.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind NodeKind
+	Loc  geo.Point
+	// Addr is the address the node sources ICMP replies from. Private
+	// addresses mark the pre-breakout segment.
+	Addr ipaddr.Addr
+	// ASN is the AS that operates the node (0 when anonymous/private).
+	ASN ipreg.ASN
+	// ICMPReplyProb is the probability the node answers a TTL-exceeded
+	// probe. 0 models CG-NATs or routers that drop ICMP.
+	ICMPReplyProb float64
+	// ProcDelayMs is per-packet processing delay added at this hop.
+	ProcDelayMs float64
+}
+
+// Link is an undirected edge between two nodes.
+type Link struct {
+	A, B NodeID
+	// DelayMs is the one-way baseline delay (propagation + serialization).
+	DelayMs float64
+	// PeeringPenaltyMs is additional one-way delay modeling the quality of
+	// the interconnection agreement on this edge.
+	PeeringPenaltyMs float64
+	// BandwidthMbps is the link capacity.
+	BandwidthMbps float64
+	// LossProb is the per-packet loss probability on this edge.
+	LossProb float64
+	// JitterFrac scales the random perturbation applied to this link's
+	// delay in each measurement (default 0.08 if zero).
+	JitterFrac float64
+}
+
+// TotalDelayMs returns the effective one-way delay used for routing.
+func (l Link) TotalDelayMs() float64 { return l.DelayMs + l.PeeringPenaltyMs }
+
+// Network is a mutable topology. Construction is not concurrency-safe;
+// evaluation (routing, measurements) is safe for concurrent readers once
+// construction has finished.
+type Network struct {
+	mu    sync.Mutex
+	nodes []Node
+	adj   map[NodeID][]edgeRef
+
+	// transitAS marks ASes allowed to carry traffic between two other
+	// networks. All other (stub) ASes — content providers, PGW hosts —
+	// may originate or sink traffic but not be crossed, the "valley-free"
+	// constraint real BGP policy enforces.
+	transitAS map[ipreg.ASN]bool
+
+	// load is the optional utilization model (see SetLoadModel).
+	load LoadModel
+
+	routeCache map[[2]NodeID]*Path
+}
+
+// SetTransitAS marks an AS as transit-capable. Unlisted non-zero ASes
+// are stubs; nodes with ASN 0 (private infrastructure) are unrestricted.
+func (n *Network) SetTransitAS(asn ipreg.ASN) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.transitAS[asn] = true
+	n.routeCache = make(map[[2]NodeID]*Path)
+}
+
+type edgeRef struct {
+	to   NodeID
+	link Link
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		adj:        make(map[NodeID][]edgeRef),
+		transitAS:  make(map[ipreg.ASN]bool),
+		routeCache: make(map[[2]NodeID]*Path),
+	}
+}
+
+// AddNode inserts a node and returns its ID. The ID field of the argument
+// is ignored and assigned by the network. Nodes default to answering ICMP
+// (probability 1) and a 0.15 ms processing delay if unset.
+func (n *Network) AddNode(node Node) NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node.ID = NodeID(len(n.nodes))
+	if node.ICMPReplyProb == 0 {
+		node.ICMPReplyProb = 1
+	} else if node.ICMPReplyProb < 0 {
+		node.ICMPReplyProb = 0 // explicit "never replies"
+	}
+	if node.ProcDelayMs == 0 {
+		node.ProcDelayMs = 0.15
+	}
+	n.nodes = append(n.nodes, node)
+	return node.ID
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
+
+// Connect adds an undirected link. If link.DelayMs is zero it is derived
+// from the great-circle distance between the endpoints (plus a small
+// last-metre floor so co-located nodes still cost something). If
+// BandwidthMbps is zero a 10 Gbps default is used.
+func (n *Network) Connect(a, b NodeID, link Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if a == b {
+		panic("netsim: self-link")
+	}
+	link.A, link.B = a, b
+	if link.DelayMs == 0 {
+		link.DelayMs = geo.PropagationDelayMs(n.nodes[a].Loc, n.nodes[b].Loc)
+		if link.DelayMs < 0.05 {
+			link.DelayMs = 0.05
+		}
+	}
+	if link.BandwidthMbps == 0 {
+		link.BandwidthMbps = 10000
+	}
+	if link.JitterFrac == 0 {
+		link.JitterFrac = 0.08
+	}
+	n.adj[a] = append(n.adj[a], edgeRef{to: b, link: link})
+	n.adj[b] = append(n.adj[b], edgeRef{to: a, link: link})
+	// Topology changed: routes computed so far may be stale.
+	n.routeCache = make(map[[2]NodeID]*Path)
+}
+
+// Degree returns the number of links attached to a node.
+func (n *Network) Degree(id NodeID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.adj[id])
+}
+
+// Path is a routed path: the node sequence and the traversed links
+// (len(Links) == len(Nodes)-1).
+type Path struct {
+	Nodes []Node
+	Links []Link
+}
+
+// BaseOneWayMs returns the deterministic one-way delay of the path:
+// link delays + peering penalties + per-node processing.
+func (p *Path) BaseOneWayMs() float64 {
+	var d float64
+	for _, l := range p.Links {
+		d += l.TotalDelayMs()
+	}
+	for _, node := range p.Nodes {
+		d += node.ProcDelayMs
+	}
+	return d
+}
+
+// BottleneckMbps returns the minimum link bandwidth along the path.
+func (p *Path) BottleneckMbps() float64 {
+	min := math.Inf(1)
+	for _, l := range p.Links {
+		if l.BandwidthMbps < min {
+			min = l.BandwidthMbps
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// LossProb returns the end-to-end packet loss probability.
+func (p *Path) LossProb() float64 {
+	keep := 1.0
+	for _, l := range p.Links {
+		keep *= 1 - l.LossProb
+	}
+	return 1 - keep
+}
+
+// Hops returns the number of forwarding hops (nodes after the source).
+func (p *Path) Hops() int { return len(p.Nodes) - 1 }
+
+// Route computes the shortest-delay path from src to dst. Ties are broken
+// by preferring fewer hops, then lower node IDs, so routing is fully
+// deterministic. Routes are cached.
+func (n *Network) Route(src, dst NodeID) (*Path, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.routeLocked(src, dst)
+}
+
+func (n *Network) routeLocked(src, dst NodeID) (*Path, error) {
+	if p, ok := n.routeCache[[2]NodeID{src, dst}]; ok {
+		return p, nil
+	}
+	if int(src) >= len(n.nodes) || int(dst) >= len(n.nodes) || src < 0 || dst < 0 {
+		return nil, fmt.Errorf("netsim: bad route endpoints %d -> %d", src, dst)
+	}
+	type state struct {
+		cost float64
+		hops int
+		prev NodeID
+		via  Link
+		done bool
+		seen bool
+	}
+	states := make([]state, len(n.nodes))
+	states[src] = state{seen: true, prev: -1}
+	// Simple O(V²) Dijkstra: topologies here are a few thousand nodes.
+	for {
+		// Pick the unfinished node with the smallest (cost, hops, id).
+		best := NodeID(-1)
+		for id := range states {
+			s := &states[id]
+			if !s.seen || s.done {
+				continue
+			}
+			if best < 0 {
+				best = NodeID(id)
+				continue
+			}
+			b := &states[best]
+			if s.cost < b.cost || (s.cost == b.cost && (s.hops < b.hops || (s.hops == b.hops && NodeID(id) < best))) {
+				best = NodeID(id)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if best == dst {
+			break
+		}
+		states[best].done = true
+		// Valley-free constraint: a stub AS may not be crossed. If best
+		// was entered from a different AS, it may only forward within its
+		// own AS. The source node and ASN-0 nodes are unrestricted.
+		uASN := n.nodes[best].ASN
+		restricted := false
+		if uASN != 0 && !n.transitAS[uASN] && best != src {
+			prevASN := n.nodes[states[best].prev].ASN
+			restricted = prevASN != uASN
+		}
+		for _, e := range n.adj[best] {
+			if restricted && n.nodes[e.to].ASN != uASN {
+				continue
+			}
+			c := states[best].cost + e.link.TotalDelayMs() + n.nodes[e.to].ProcDelayMs
+			h := states[best].hops + 1
+			s := &states[e.to]
+			if !s.seen || c < s.cost || (c == s.cost && h < s.hops) {
+				*s = state{cost: c, hops: h, prev: best, via: e.link, seen: true}
+			}
+		}
+	}
+	if !states[dst].seen {
+		return nil, fmt.Errorf("netsim: no route %s -> %s", n.nodes[src].Name, n.nodes[dst].Name)
+	}
+	// Reconstruct.
+	var revNodes []Node
+	var revLinks []Link
+	at := dst
+	for at != src {
+		revNodes = append(revNodes, n.nodes[at])
+		revLinks = append(revLinks, states[at].via)
+		at = states[at].prev
+	}
+	revNodes = append(revNodes, n.nodes[src])
+	p := &Path{
+		Nodes: make([]Node, 0, len(revNodes)),
+		Links: make([]Link, 0, len(revLinks)),
+	}
+	for i := len(revNodes) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, revNodes[i])
+	}
+	for i := len(revLinks) - 1; i >= 0; i-- {
+		p.Links = append(p.Links, revLinks[i])
+	}
+	n.routeCache[[2]NodeID{src, dst}] = p
+	return p, nil
+}
+
+// RTTms samples a round-trip time over the path: twice the one-way delay
+// with per-link jitter applied, inflated by the current load model's
+// queueing term.
+func (n *Network) RTTms(p *Path, src *rng.Source) float64 {
+	var d float64
+	for _, l := range p.Links {
+		d += src.Jitter(l.TotalDelayMs(), l.JitterFrac)
+	}
+	for _, node := range p.Nodes {
+		d += src.Jitter(node.ProcDelayMs, 0.3)
+	}
+	return 2 * d * queueInflation(n.loadFactor())
+}
+
+// NodesByKind returns the IDs of all nodes of the given kind, sorted.
+func (n *Network) NodesByKind(kind NodeKind) []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []NodeID
+	for _, node := range n.nodes {
+		if node.Kind == kind {
+			out = append(out, node.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindNode returns the first node with the given name.
+func (n *Network) FindNode(name string) (Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, node := range n.nodes {
+		if node.Name == name {
+			return node, true
+		}
+	}
+	return Node{}, false
+}
+
+// ConcatPaths joins consecutive path segments into one path. Each
+// segment must start at the node the previous segment ended at. It is
+// how sessions compose their pinned private leg (UE → assigned PGW) with
+// the routed public leg (PGW → target), mirroring the fact that tunneled
+// traffic cannot pick its breakout.
+func ConcatPaths(segments ...*Path) (*Path, error) {
+	var out *Path
+	for _, seg := range segments {
+		if seg == nil || len(seg.Nodes) == 0 {
+			return nil, fmt.Errorf("netsim: empty path segment")
+		}
+		if out == nil {
+			out = &Path{
+				Nodes: append([]Node(nil), seg.Nodes...),
+				Links: append([]Link(nil), seg.Links...),
+			}
+			continue
+		}
+		if out.Nodes[len(out.Nodes)-1].ID != seg.Nodes[0].ID {
+			return nil, fmt.Errorf("netsim: discontiguous segments (%s -> %s)",
+				out.Nodes[len(out.Nodes)-1].Name, seg.Nodes[0].Name)
+		}
+		out.Nodes = append(out.Nodes, seg.Nodes[1:]...)
+		out.Links = append(out.Links, seg.Links...)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("netsim: no segments")
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"roamsim/internal/rng"
+)
+
+// randomGraph builds a connected random graph with n nodes.
+func randomGraph(src *rng.Source, n int) (*Network, []NodeID) {
+	net := New()
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = net.AddNode(Node{Name: string(rune('a' + i))})
+	}
+	// Spanning chain guarantees connectivity.
+	for i := 1; i < n; i++ {
+		net.Connect(ids[i-1], ids[i], Link{DelayMs: src.Uniform(1, 50)})
+	}
+	// Extra random edges.
+	extra := src.IntBetween(0, n*2)
+	for e := 0; e < extra; e++ {
+		a, b := src.Intn(n), src.Intn(n)
+		if a != b {
+			net.Connect(ids[a], ids[b], Link{DelayMs: src.Uniform(1, 50)})
+		}
+	}
+	return net, ids
+}
+
+// bruteForceCost finds the optimal path cost by exhaustive DFS (small n).
+func bruteForceCost(net *Network, ids []NodeID, src, dst NodeID) float64 {
+	best := math.Inf(1)
+	visited := make(map[NodeID]bool)
+	var dfs func(at NodeID, cost float64)
+	dfs = func(at NodeID, cost float64) {
+		if cost >= best {
+			return
+		}
+		if at == dst {
+			best = cost
+			return
+		}
+		visited[at] = true
+		for _, to := range ids {
+			if visited[to] || to == at {
+				continue
+			}
+			// Find the cheapest direct link between at and to.
+			link, ok := cheapestLink(net, at, to)
+			if !ok {
+				continue
+			}
+			dfs(to, cost+link.TotalDelayMs()+net.Node(to).ProcDelayMs)
+		}
+		visited[at] = false
+	}
+	dfs(src, 0)
+	return best
+}
+
+func cheapestLink(net *Network, a, b NodeID) (Link, bool) {
+	best := Link{DelayMs: math.Inf(1)}
+	found := false
+	for _, e := range net.adj[a] {
+		if e.to == b && e.link.TotalDelayMs() < best.TotalDelayMs() {
+			best = e.link
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TestRouteMatchesBruteForce checks Dijkstra optimality on many random
+// small graphs (no AS restrictions, so plain shortest path applies).
+func TestRouteMatchesBruteForce(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 60; trial++ {
+		n := src.IntBetween(3, 8)
+		net, ids := randomGraph(src, n)
+		from, to := ids[0], ids[n-1]
+		p, err := net.Route(from, to)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := p.BaseOneWayMs() - net.Node(from).ProcDelayMs // brute force excludes source proc
+		want := bruteForceCost(net, ids, from, to)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: dijkstra %f != brute force %f", trial, got, want)
+		}
+	}
+}
+
+// TestRoutePathWellFormed checks structural invariants on random graphs:
+// consecutive nodes are adjacent, no node repeats, endpoints correct.
+func TestRoutePathWellFormed(t *testing.T) {
+	src := rng.New(100)
+	for trial := 0; trial < 40; trial++ {
+		n := src.IntBetween(3, 12)
+		net, ids := randomGraph(src, n)
+		a, b := ids[src.Intn(n)], ids[src.Intn(n)]
+		if a == b {
+			continue
+		}
+		p, err := net.Route(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Nodes[0].ID != a || p.Nodes[len(p.Nodes)-1].ID != b {
+			t.Fatal("endpoints wrong")
+		}
+		if len(p.Links) != len(p.Nodes)-1 {
+			t.Fatal("links/nodes mismatch")
+		}
+		seen := map[NodeID]bool{}
+		for _, node := range p.Nodes {
+			if seen[node.ID] {
+				t.Fatal("path revisits a node")
+			}
+			seen[node.ID] = true
+		}
+		for i, l := range p.Links {
+			u, v := p.Nodes[i].ID, p.Nodes[i+1].ID
+			if !(l.A == u && l.B == v) && !(l.A == v && l.B == u) {
+				t.Fatalf("link %d does not connect consecutive nodes", i)
+			}
+		}
+	}
+}
+
+// TestTracerouteHopCountMatchesPath: responding or not, the traceroute
+// covers exactly the forwarding hops of its path.
+func TestTracerouteHopCountMatchesPath(t *testing.T) {
+	src := rng.New(101)
+	for trial := 0; trial < 30; trial++ {
+		n := src.IntBetween(3, 10)
+		net, ids := randomGraph(src, n)
+		p, err := net.Route(ids[0], ids[n-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := net.Traceroute(p, src)
+		if len(tr.Hops) != p.Hops() {
+			t.Fatalf("hops %d != path hops %d", len(tr.Hops), p.Hops())
+		}
+		for i, h := range tr.Hops {
+			if h.TTL != i+1 {
+				t.Fatal("TTLs must be sequential")
+			}
+			if h.Responded && h.BestRTTms <= 0 {
+				t.Fatal("responding hop without RTT")
+			}
+		}
+	}
+}
+
+// TestRTTAlwaysPositiveAndBounded: RTT samples stay within sane bounds
+// of the deterministic base.
+func TestRTTAlwaysPositiveAndBounded(t *testing.T) {
+	src := rng.New(102)
+	for trial := 0; trial < 20; trial++ {
+		net, ids := randomGraph(src, src.IntBetween(3, 8))
+		p, err := net.Route(ids[0], ids[len(ids)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := 2 * p.BaseOneWayMs()
+		for i := 0; i < 50; i++ {
+			rtt := net.RTTms(p, src)
+			if rtt <= 0 || rtt < base*0.6 || rtt > base*1.6 {
+				t.Fatalf("RTT %f out of bounds for base %f", rtt, base)
+			}
+		}
+	}
+}
+
+// TestBottleneckNeverExceedsAnyLink is the defining property of the
+// bottleneck.
+func TestBottleneckNeverExceedsAnyLink(t *testing.T) {
+	src := rng.New(103)
+	net := New()
+	a := net.AddNode(Node{Name: "a"})
+	b := net.AddNode(Node{Name: "b"})
+	c := net.AddNode(Node{Name: "c"})
+	net.Connect(a, b, Link{DelayMs: 1, BandwidthMbps: src.Uniform(1, 100)})
+	net.Connect(b, c, Link{DelayMs: 1, BandwidthMbps: src.Uniform(1, 100)})
+	p, _ := net.Route(a, c)
+	bn := p.BottleneckMbps()
+	for _, l := range p.Links {
+		if bn > l.BandwidthMbps {
+			t.Fatalf("bottleneck %f exceeds link %f", bn, l.BandwidthMbps)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package rng provides deterministic random number generation for the
+// simulator. Every stochastic element in the reproduction (jitter, load,
+// cache misses, plan prices, ...) draws from an rng.Source seeded from the
+// experiment seed, so a given seed regenerates every table and figure
+// bit-for-bit.
+//
+// Sources can be forked by label: Fork("pakistan/esim/traceroute") yields
+// an independent stream whose values do not shift when unrelated parts of
+// the simulation add or remove draws. This "named stream" discipline is
+// what keeps figures stable as the codebase evolves.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random stream with distribution helpers.
+// It is NOT safe for concurrent use; fork one Source per goroutine.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent, deterministic child stream identified by
+// label. Forking consumes one draw from the parent.
+func (s *Source) Fork(label string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	mix := int64(h.Sum64()) ^ s.r.Int63()
+	return New(mix)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// IntBetween returns a uniform int in [lo, hi] inclusive.
+func (s *Source) IntBetween(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + s.r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Normal returns a draw from N(mean, stddev²).
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// PositiveNormal returns a draw from N(mean, stddev²) truncated at a small
+// positive floor; it is the workhorse for latencies and throughputs that
+// must never be negative.
+func (s *Source) PositiveNormal(mean, stddev float64) float64 {
+	v := s.Normal(mean, stddev)
+	floor := mean / 10
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// LogNormal returns a draw whose logarithm is N(mu, sigma²).
+// Heavy-tailed quantities (web object sizes, session volumes, RTT spikes)
+// use this.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LogNormalMeanMedian parameterizes a lognormal by its median m and a
+// shape sigma, which is how the traffic models in the paper reproduction
+// are calibrated (medians are what the figures report).
+func (s *Source) LogNormalMeanMedian(median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return s.LogNormal(math.Log(median), sigma)
+}
+
+// Exponential returns a draw from Exp(rate). Mean is 1/rate.
+func (s *Source) Exponential(rate float64) float64 {
+	return s.r.ExpFloat64() / rate
+}
+
+// Pareto returns a draw from a Pareto distribution with scale xm and
+// shape alpha. Used for heavy-tailed per-user traffic volumes.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// WeightedIndex returns an index into weights with probability
+// proportional to weights[i]. It panics on an empty or all-zero slice.
+func (s *Source) WeightedIndex(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: all weights zero")
+	}
+	target := s.r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Pick returns a uniformly chosen element of items.
+func Pick[T any](s *Source, items []T) T {
+	return items[s.Intn(len(items))]
+}
+
+// Shuffle permutes items in place.
+func Shuffle[T any](s *Source, items []T) {
+	s.r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Jitter returns v multiplied by a factor uniform in [1-frac, 1+frac].
+// It is the standard way the simulator perturbs deterministic baselines.
+func (s *Source) Jitter(v, frac float64) float64 {
+	return v * s.Uniform(1-frac, 1+frac)
+}

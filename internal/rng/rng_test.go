@@ -1,0 +1,231 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d identical draws of 100", same)
+	}
+}
+
+func TestForkDeterministicAndIndependent(t *testing.T) {
+	// Same parent seed + same label = same child stream.
+	c1 := New(7).Fork("pakistan/esim")
+	c2 := New(7).Fork("pakistan/esim")
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatalf("forked streams with same label diverged at %d", i)
+		}
+	}
+	// Different labels give different streams.
+	d1 := New(7).Fork("a")
+	d2 := New(7).Fork("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if d1.Float64() == d2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("differently-labeled forks produced %d identical draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 9)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Uniform(5,9) = %f out of range", v)
+		}
+	}
+}
+
+func TestIntBetweenInclusive(t *testing.T) {
+	s := New(4)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntBetween(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntBetween(3,6) = %d", v)
+		}
+		seen[v] = true
+	}
+	for want := 3; want <= 6; want++ {
+		if !seen[want] {
+			t.Errorf("IntBetween never produced %d", want)
+		}
+	}
+	if got := s.IntBetween(5, 5); got != 5 {
+		t.Errorf("IntBetween(5,5) = %d", got)
+	}
+	if v := s.IntBetween(9, 7); v < 7 || v > 9 {
+		t.Errorf("IntBetween with swapped bounds = %d", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(5)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Normal mean = %f, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Errorf("Normal variance = %f, want ~4", variance)
+	}
+}
+
+func TestPositiveNormalFloor(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 10000; i++ {
+		if v := s.PositiveNormal(5, 10); v < 0.5-1e-12 {
+			t.Fatalf("PositiveNormal below floor: %f", v)
+		}
+	}
+	if v := s.PositiveNormal(0, 1); v <= 0 {
+		t.Errorf("PositiveNormal(0,1) = %f, want > 0", v)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(7)
+	const n = 20001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormalMeanMedian(30, 0.5)
+	}
+	sort.Float64s(vals)
+	med := vals[n/2]
+	if med < 27 || med > 33 {
+		t.Errorf("lognormal median = %f, want ~30", med)
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("lognormal produced non-positive value")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(8)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(0.5) // mean 2
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.1 {
+		t.Errorf("Exponential(0.5) mean = %f, want ~2", mean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(9)
+	const n = 20000
+	over := 0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(1, 2)
+		if v < 1 {
+			t.Fatalf("Pareto below scale: %f", v)
+		}
+		if v > 3 {
+			over++
+		}
+	}
+	// P(X > 3) = (1/3)^2 ≈ 0.111 for alpha=2, xm=1.
+	frac := float64(over) / n
+	if frac < 0.08 || frac > 0.15 {
+		t.Errorf("Pareto tail fraction = %f, want ~0.111", frac)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(10)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[s.WeightedIndex([]float64{1, 2, 7})]++
+	}
+	if f := float64(counts[2]) / 30000; f < 0.65 || f > 0.75 {
+		t.Errorf("weight-7 option frequency = %f, want ~0.7", f)
+	}
+	if f := float64(counts[0]) / 30000; f < 0.07 || f > 0.13 {
+		t.Errorf("weight-1 option frequency = %f, want ~0.1", f)
+	}
+}
+
+func TestWeightedIndexPanics(t *testing.T) {
+	s := New(11)
+	for _, weights := range [][]float64{{}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WeightedIndex(%v) should panic", weights)
+				}
+			}()
+			s.WeightedIndex(weights)
+		}()
+	}
+}
+
+func TestPickAndShuffle(t *testing.T) {
+	s := New(12)
+	items := []string{"a", "b", "c", "d"}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Pick(s, items)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Pick visited %d of 4 items", len(seen))
+	}
+	orig := append([]string(nil), items...)
+	Shuffle(s, items)
+	if len(items) != 4 {
+		t.Fatal("shuffle changed length")
+	}
+	elem := map[string]int{}
+	for _, v := range items {
+		elem[v]++
+	}
+	for _, v := range orig {
+		if elem[v] != 1 {
+			t.Fatalf("shuffle lost element %s", v)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		v := s.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter(100, 0.1) = %f", v)
+		}
+	}
+}

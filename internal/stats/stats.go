@@ -1,0 +1,330 @@
+// Package stats implements the descriptive and inferential statistics the
+// paper reports: quantiles and boxplot summaries for every figure, CDFs,
+// Welch's t-test (used to compare SIM vs eSIM RTTs), Levene's test (used
+// to compare RTT variances), and normal-approximation confidence
+// intervals.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test needs more samples.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Boxplot is the five-number summary plus mean and count, matching the
+// boxplots in Figures 7–16.
+type Boxplot struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+	// WhiskerLo/WhiskerHi are the Tukey whiskers (1.5 IQR rule).
+	WhiskerLo, WhiskerHi float64
+}
+
+// NewBoxplot summarizes xs. It returns a zero Boxplot for empty input.
+func NewBoxplot(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		return Boxplot{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := Boxplot{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLo, b.WhiskerHi = b.Max, b.Min
+	for _, v := range s {
+		if v >= loFence && v < b.WhiskerLo {
+			b.WhiskerLo = v
+		}
+		if v <= hiFence && v > b.WhiskerHi {
+			b.WhiskerHi = v
+		}
+	}
+	return b
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // P(X ≤ x)
+}
+
+// CDF returns the empirical distribution of xs as sorted points.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{X: v, P: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of samples strictly greater than
+// threshold — e.g. the paper's "14.5% of eSIM RTTs exceeded 150 ms".
+func FractionAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionBelow returns the fraction of samples ≤ threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return 1 - FractionAbove(xs, threshold)
+}
+
+// TTestResult is the outcome of Welch's two-sample t-test.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances (the paper's SIM-vs-eSIM comparison).
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(1), DF: na + nb - 2, P: 0}, nil
+	}
+	tStat := (ma - mb) / se
+	num := math.Pow(va/na+vb/nb, 2)
+	den := math.Pow(va/na, 2)/(na-1) + math.Pow(vb/nb, 2)/(nb-1)
+	df := num / den
+	return TTestResult{T: tStat, DF: df, P: twoSidedTP(tStat, df)}, nil
+}
+
+// LeveneTest tests equality of variances across groups using the
+// Brown–Forsythe variant (deviations from group medians), which is what
+// the paper cites for RTT variance comparison. It returns the W statistic
+// and an F-distribution p-value.
+func LeveneTest(groups ...[]float64) (w, p float64, err error) {
+	k := len(groups)
+	if k < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	var nTotal int
+	z := make([][]float64, k)
+	zBar := make([]float64, k)
+	var zGrand float64
+	for i, g := range groups {
+		if len(g) < 2 {
+			return 0, 0, ErrInsufficientData
+		}
+		med := Median(g)
+		z[i] = make([]float64, len(g))
+		for j, v := range g {
+			z[i][j] = math.Abs(v - med)
+		}
+		zBar[i] = Mean(z[i])
+		zGrand += zBar[i] * float64(len(g))
+		nTotal += len(g)
+	}
+	zGrand /= float64(nTotal)
+	var between, within float64
+	for i, g := range groups {
+		between += float64(len(g)) * (zBar[i] - zGrand) * (zBar[i] - zGrand)
+		for _, v := range z[i] {
+			within += (v - zBar[i]) * (v - zBar[i])
+		}
+	}
+	if within == 0 {
+		return math.Inf(1), 0, nil
+	}
+	df1 := float64(k - 1)
+	df2 := float64(nTotal - k)
+	w = (df2 / df1) * between / within
+	return w, fCDFUpper(w, df1, df2), nil
+}
+
+// MeanCI returns the mean and half-width of a normal-approximation
+// confidence interval at the given z (1.96 for 95%).
+func MeanCI(xs []float64, z float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	half = z * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, half
+}
+
+// twoSidedTP computes the two-sided p-value of a t statistic with df
+// degrees of freedom via the regularized incomplete beta function.
+func twoSidedTP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// fCDFUpper returns P(F ≥ w) for an F(df1, df2) distribution.
+func fCDFUpper(w, df1, df2 float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	x := df2 / (df2 + df1*w)
+	return regIncBeta(df2/2, df1/2, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x)
+	}
+	// Use the symmetry relation for better convergence.
+	lbetaSwap := lgamma(a+b) - lgamma(b) - lgamma(a)
+	frontSwap := math.Exp(math.Log(1-x)*b+math.Log(x)*a+lbetaSwap) / b
+	return 1 - frontSwap*betacf(b, a, 1-x)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betacf(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"roamsim/internal/rng"
+)
+
+func approx(t *testing.T, got, want, tol float64, label string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", label, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "stddev")
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Quantile(xs, 0), 1, 0, "q0")
+	approx(t, Quantile(xs, 0.5), 3, 0, "q50")
+	approx(t, Quantile(xs, 1), 5, 0, "q100")
+	approx(t, Quantile(xs, 0.25), 2, 1e-12, "q25")
+	// Interpolation: quantile 0.1 of [1..5] = 1.4 (type-7).
+	approx(t, Quantile(xs, 0.1), 1.4, 1e-12, "q10")
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	s := rng.New(1)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = s.Normal(0, 10)
+	}
+	f := func(q1, q2 float64) bool {
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100} // one outlier
+	b := NewBoxplot(xs)
+	if b.N != 10 || b.Min != 1 || b.Max != 100 {
+		t.Errorf("summary wrong: %+v", b)
+	}
+	if b.Median != 5.5 {
+		t.Errorf("median = %f", b.Median)
+	}
+	if b.WhiskerHi >= 100 {
+		t.Errorf("whisker should exclude the outlier, got %f", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 1 {
+		t.Errorf("lo whisker = %f", b.WhiskerLo)
+	}
+	empty := NewBoxplot(nil)
+	if empty.N != 0 {
+		t.Error("empty boxplot should be zero")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[2].X != 3 {
+		t.Error("CDF not sorted by value")
+	}
+	approx(t, pts[0].P, 1.0/3, 1e-12, "first p")
+	approx(t, pts[2].P, 1, 1e-12, "last p")
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+	// P must be nondecreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Fatal("CDF P not monotone")
+		}
+	}
+}
+
+func TestFractions(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	approx(t, FractionAbove(xs, 25), 0.5, 1e-12, "above 25")
+	approx(t, FractionAbove(xs, 40), 0, 1e-12, "above 40")
+	approx(t, FractionBelow(xs, 25), 0.5, 1e-12, "below 25")
+	approx(t, FractionAbove(nil, 1), 0, 1e-12, "empty")
+}
+
+func TestWelchTTestDistinguishes(t *testing.T) {
+	s := rng.New(2)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	c := make([]float64, 200)
+	for i := range a {
+		a[i] = s.Normal(50, 10)  // SIM-like
+		b[i] = s.Normal(300, 60) // HR eSIM-like
+		c[i] = s.Normal(50, 10)  // same as a
+	}
+	diff, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.P > 1e-6 {
+		t.Errorf("clearly different means: p = %g", diff.P)
+	}
+	if diff.T >= 0 {
+		t.Errorf("a < b should give negative t, got %f", diff.T)
+	}
+	same, err := WelchTTest(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.P < 0.01 {
+		t.Errorf("same distribution rejected: p = %g", same.P)
+	}
+	if _, err := WelchTTest([]float64{1}, a); err == nil {
+		t.Error("n=1 should error")
+	}
+}
+
+func TestWelchTTestKnownValue(t *testing.T) {
+	// Cross-checked with scipy.stats.ttest_ind(equal_var=False).
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.2}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.T, -2.8, 0.15, "t statistic")
+	if res.P < 0.005 || res.P > 0.02 {
+		t.Errorf("p = %g, want ~0.01", res.P)
+	}
+}
+
+func TestLeveneTest(t *testing.T) {
+	s := rng.New(3)
+	lowVar := make([]float64, 300)
+	hiVar := make([]float64, 300)
+	lowVar2 := make([]float64, 300)
+	for i := range lowVar {
+		lowVar[i] = s.Normal(100, 5)
+		hiVar[i] = s.Normal(100, 50)
+		lowVar2[i] = s.Normal(100, 5)
+	}
+	_, p, err := LeveneTest(lowVar, hiVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("unequal variances not detected: p = %g", p)
+	}
+	_, p2, err := LeveneTest(lowVar, lowVar2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 < 0.01 {
+		t.Errorf("equal variances rejected: p = %g", p2)
+	}
+	if _, _, err := LeveneTest(lowVar); err == nil {
+		t.Error("one group should error")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	s := rng.New(4)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = s.Normal(31.7, 20)
+	}
+	mean, half := MeanCI(xs, 1.96)
+	if math.Abs(mean-31.7) > 3 {
+		t.Errorf("mean = %f", mean)
+	}
+	// Expected half-width ≈ 1.96*20/20 = 1.96.
+	if half < 1.4 || half > 2.6 {
+		t.Errorf("CI half-width = %f", half)
+	}
+	m, h := MeanCI([]float64{5}, 1.96)
+	if m != 5 || h != 0 {
+		t.Error("single sample CI should be (x, 0)")
+	}
+}
+
+func TestRegIncBetaSanity(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		approx(t, regIncBeta(1, 1, x), x, 1e-9, "I_x(1,1)")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	approx(t, regIncBeta(2, 3, 0.4), 1-regIncBeta(3, 2, 0.6), 1e-9, "symmetry")
+	if regIncBeta(2, 2, 0) != 0 || regIncBeta(2, 2, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestMedianAgainstSort(t *testing.T) {
+	s := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		n := s.IntBetween(1, 99)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Normal(0, 100)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		approx(t, Median(xs), want, 1e-9, "median")
+	}
+}

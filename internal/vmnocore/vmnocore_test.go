@@ -1,0 +1,170 @@
+package vmnocore
+
+import (
+	"testing"
+
+	"roamsim/internal/core"
+	"roamsim/internal/mno"
+	"roamsim/internal/rng"
+	"roamsim/internal/stats"
+)
+
+func newSim(t *testing.T) (*Simulator, *mno.Operator, mno.IMSIRange) {
+	t.Helper()
+	vmno := &mno.Operator{Name: "UK-MNO", PLMN: mno.PLMN{MCC: "234", MNC: "15"}, Country: "GBR"}
+	play := &mno.Operator{Name: "Play", PLMN: mno.PLMN{MCC: "260", MNC: "06"}, Country: "POL"}
+	airaloRange := play.MustLeaseRange("731", "airalo")
+	return New(vmno, play, airaloRange, rng.New(7)), play, airaloRange
+}
+
+func TestSubscriberIdentities(t *testing.T) {
+	sim, _, airaloRange := newSim(t)
+	n := sim.NewSubscriber(GroupNative)
+	if n.IMSI.PLMNOf(2).String() != "234-15" {
+		t.Errorf("native IMSI PLMN = %s", n.IMSI.PLMNOf(2))
+	}
+	a := sim.NewSubscriber(GroupAiralo)
+	if !airaloRange.Contains(a.IMSI) {
+		t.Error("airalo subscriber outside leased range")
+	}
+	r := sim.NewSubscriber(GroupPlayRoamer)
+	if airaloRange.Contains(r.IMSI) {
+		t.Error("ordinary Play roamer inside leased range")
+	}
+	if r.IMSI.PLMNOf(2).String() != "260-06" {
+		t.Errorf("roamer PLMN = %s", r.IMSI.PLMNOf(2))
+	}
+	if n.IMEI == a.IMEI || len(n.IMEI) != 15 {
+		t.Errorf("IMEIs must be unique 15-digit strings: %s %s", n.IMEI, a.IMEI)
+	}
+}
+
+func TestPopulationComposition(t *testing.T) {
+	sim, _, _ := newSim(t)
+	pop := sim.Population(100, 50, 25)
+	if len(pop) != 175 {
+		t.Fatalf("population size = %d", len(pop))
+	}
+	counts := map[Group]int{}
+	for _, s := range pop {
+		counts[s.TrueGroup]++
+	}
+	if counts[GroupNative] != 100 || counts[GroupPlayRoamer] != 50 || counts[GroupAiralo] != 25 {
+		t.Errorf("composition = %v", counts)
+	}
+}
+
+func TestLookupIMSIByIMEI(t *testing.T) {
+	sim, _, _ := newSim(t)
+	pop := sim.Population(10, 10, 10)
+	target := pop[7]
+	imsi, ok := LookupIMSIByIMEI(pop, target.IMEI)
+	if !ok || imsi != target.IMSI {
+		t.Errorf("lookup failed: ok=%v %s vs %s", ok, imsi, target.IMSI)
+	}
+	if _, ok := LookupIMSIByIMEI(pop, "nope"); ok {
+		t.Error("unknown IMEI should miss")
+	}
+}
+
+func TestUsageDistributionsMatchFigure5(t *testing.T) {
+	sim, _, _ := newSim(t)
+	const n = 400
+	groups := map[Group][]float64{}
+	sigGroups := map[Group][]float64{}
+	for _, g := range []Group{GroupNative, GroupPlayRoamer, GroupAiralo} {
+		for i := 0; i < n; i++ {
+			u := sim.DailyUsage(sim.NewSubscriber(g))
+			groups[g] = append(groups[g], u.DataMB)
+			sigGroups[g] = append(sigGroups[g], u.SignallingMsg)
+		}
+	}
+	natData := stats.Median(groups[GroupNative])
+	airData := stats.Median(groups[GroupAiralo])
+	playData := stats.Median(groups[GroupPlayRoamer])
+	// Airalo ≈ native (within 25%), Play roamers clearly lower.
+	if airData < natData*0.75 || airData > natData*1.25 {
+		t.Errorf("airalo data median %f should track native %f", airData, natData)
+	}
+	if playData > natData*0.6 {
+		t.Errorf("play roamer data median %f should differ from native %f", playData, natData)
+	}
+	// Signalling: Airalo slightly higher than native.
+	natSig := stats.Median(sigGroups[GroupNative])
+	airSig := stats.Median(sigGroups[GroupAiralo])
+	if airSig <= natSig {
+		t.Errorf("airalo signalling %f should exceed native %f", airSig, natSig)
+	}
+}
+
+func TestObserveMonthAggregates(t *testing.T) {
+	sim, _, _ := newSim(t)
+	pop := sim.Population(5, 5, 5)
+	obs := sim.ObserveMonth(pop, 30)
+	if len(obs) != len(pop) {
+		t.Fatal("observation count mismatch")
+	}
+	for _, o := range obs {
+		if o.DataMB <= 0 || o.SignallingMsg <= 0 {
+			t.Fatal("monthly aggregates must be positive")
+		}
+		// 30 days at medians of hundreds: totals should be thousands.
+		if o.DataMB < 100 {
+			t.Errorf("implausibly low monthly data: %f MB", o.DataMB)
+		}
+	}
+}
+
+// TestEndToEndFigure5Pipeline runs the full methodology: seed devices,
+// look up their IMSIs by IMEI, mine ranges, partition the population, and
+// check that the inferred Airalo group's usage matches the ground truth
+// group's.
+func TestEndToEndFigure5Pipeline(t *testing.T) {
+	sim, _, _ := newSim(t)
+	pop := sim.Population(800, 400, 200)
+	seeded := sim.SeedDevices(10)
+	all := append(append([]Subscriber(nil), pop...), seeded...)
+
+	// Analyst view: look up seeded IMSIs by IMEI, never touch TrueGroup.
+	var seedIMSIs []mno.IMSI
+	for _, dev := range seeded {
+		imsi, ok := LookupIMSIByIMEI(all, dev.IMEI)
+		if !ok {
+			t.Fatal("seeded device missing from core")
+		}
+		seedIMSIs = append(seedIMSIs, imsi)
+	}
+	rs, err := core.MineIMSIRanges(seedIMSIs, core.MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition only the Play-PLMN inbound roamers (the v-MNO can already
+	// exclude its own natives by PLMN).
+	var inbound []Subscriber
+	for _, s := range all {
+		if s.IMSI.PLMNOf(2).String() == "260-06" {
+			inbound = append(inbound, s)
+		}
+	}
+	var tp, fp, fn int
+	for _, s := range inbound {
+		inferred := rs.Match(s.IMSI)
+		truth := s.TrueGroup == GroupAiralo
+		switch {
+		case inferred && truth:
+			tp++
+		case inferred && !truth:
+			fp++
+		case !inferred && truth:
+			fn++
+		}
+	}
+	if fn > 0 {
+		t.Errorf("mining missed %d true Airalo users", fn)
+	}
+	precision := float64(tp) / float64(tp+fp)
+	if precision < 0.8 {
+		t.Errorf("precision = %f, want >= 0.8", precision)
+	}
+}

@@ -1,0 +1,129 @@
+// Package voip implements the paper's named future-work metrics: jitter
+// and packet loss for real-time services, folded into an ITU-T G.107
+// E-model estimate of call quality (R-factor and MOS).
+//
+// Roaming architectures hurt VoIP twice: the GTP tunnel adds one-way
+// delay (the dominant E-model penalty past ~177 ms mouth-to-ear), and
+// the longer loss path degrades the equipment-impairment term. The
+// FutureVoIP experiment quantifies both per architecture.
+package voip
+
+import (
+	"fmt"
+	"math"
+
+	"roamsim/internal/netsim"
+	"roamsim/internal/rng"
+)
+
+// ProbeResult summarizes an RTP-like probe stream over a path.
+type ProbeResult struct {
+	Packets     int
+	Lost        int
+	MeanRTTms   float64
+	JitterMs    float64 // RFC 3550 interarrival jitter estimate
+	OneWayMs    float64 // mouth-to-ear estimate (RTT/2 + jitter buffer)
+	LossPercent float64
+}
+
+// Probe sends n probe packets over the path and computes delay, RFC 3550
+// jitter, and loss.
+func Probe(net *netsim.Network, path *netsim.Path, n int, src *rng.Source) (ProbeResult, error) {
+	if n <= 1 {
+		return ProbeResult{}, fmt.Errorf("voip: need at least 2 probe packets")
+	}
+	res := ProbeResult{Packets: n}
+	lossP := path.LossProb()
+	var sumRTT float64
+	var jitter float64
+	prev := -1.0
+	received := 0
+	for i := 0; i < n; i++ {
+		if src.Bool(lossP) {
+			res.Lost++
+			continue
+		}
+		rtt := net.RTTms(path, src)
+		sumRTT += rtt
+		received++
+		if prev >= 0 {
+			// RFC 3550: J += (|D| - J) / 16, with D the transit delta.
+			d := math.Abs(rtt/2 - prev/2)
+			jitter += (d - jitter) / 16
+		}
+		prev = rtt
+	}
+	if received == 0 {
+		return res, fmt.Errorf("voip: all probes lost")
+	}
+	res.MeanRTTms = sumRTT / float64(received)
+	res.JitterMs = jitter
+	res.LossPercent = 100 * float64(res.Lost) / float64(n)
+	// Mouth-to-ear: half the RTT plus a jitter buffer sized 2x jitter
+	// plus codec packetization (20 ms frames + 20 ms buffer floor).
+	res.OneWayMs = res.MeanRTTms/2 + 2*res.JitterMs + 40
+	return res, nil
+}
+
+// EModel computes the ITU-T G.107 R-factor for a G.711 call with the
+// given mouth-to-ear delay and packet loss, and the corresponding MOS.
+type EModel struct {
+	// Bpl is the codec's packet-loss robustness (G.711 w/o PLC ≈ 4.3,
+	// with PLC ≈ 25.1). Zero means 25.1.
+	Bpl float64
+}
+
+// Score returns (R, MOS) for the probe result.
+func (e EModel) Score(p ProbeResult) (r, mos float64) {
+	bpl := e.Bpl
+	if bpl == 0 {
+		bpl = 25.1
+	}
+	const r0 = 93.2 // base R for G.711
+	// Delay impairment Id (simplified G.107): small below 177.3 ms,
+	// then steep.
+	d := p.OneWayMs
+	id := 0.024 * d
+	if d > 177.3 {
+		id += 0.11 * (d - 177.3)
+	}
+	// Equipment impairment with loss: Ie-eff = Ie + (95-Ie)·Ppl/(Ppl+Bpl).
+	const ie = 0.0 // G.711 baseline
+	ppl := p.LossPercent
+	ieEff := ie + (95-ie)*ppl/(ppl+bpl)
+	r = r0 - id - ieEff
+	if r < 0 {
+		r = 0
+	}
+	if r > 100 {
+		r = 100
+	}
+	// R -> MOS (ITU-T G.107 Annex B).
+	if r < 6.5 {
+		mos = 1
+	} else {
+		mos = 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+	}
+	if mos > 4.5 {
+		mos = 4.5
+	}
+	return r, mos
+}
+
+// Grade maps an R-factor to the conventional user-satisfaction band.
+func Grade(r float64) string {
+	switch {
+	case r >= 90:
+		return "very satisfied"
+	case r >= 80:
+		return "satisfied"
+	case r >= 70:
+		return "some users dissatisfied"
+	case r >= 60:
+		return "many users dissatisfied"
+	case r >= 50:
+		return "nearly all users dissatisfied"
+	default:
+		return "not recommended"
+	}
+}

@@ -1,0 +1,132 @@
+package voip
+
+import (
+	"testing"
+
+	"roamsim/internal/netsim"
+	"roamsim/internal/rng"
+)
+
+func pathWith(delayMs, loss float64) (*netsim.Network, *netsim.Path) {
+	n := netsim.New()
+	a := n.AddNode(netsim.Node{Name: "a"})
+	b := n.AddNode(netsim.Node{Name: "b", Kind: netsim.KindServer})
+	n.Connect(a, b, netsim.Link{DelayMs: delayMs, LossProb: loss})
+	p, err := n.Route(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return n, p
+}
+
+func TestProbeBasics(t *testing.T) {
+	net, p := pathWith(20, 0.02)
+	res, err := Probe(net, p, 500, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 500 {
+		t.Errorf("packets = %d", res.Packets)
+	}
+	// RTT ≈ 2×(20 + proc) ≈ 41 ms.
+	if res.MeanRTTms < 35 || res.MeanRTTms > 50 {
+		t.Errorf("mean RTT = %f", res.MeanRTTms)
+	}
+	// Loss ≈ 2%.
+	if res.LossPercent < 0.5 || res.LossPercent > 4.5 {
+		t.Errorf("loss = %f%%", res.LossPercent)
+	}
+	if res.JitterMs <= 0 {
+		t.Error("jitter must be positive on a jittery link")
+	}
+	if res.OneWayMs <= res.MeanRTTms/2 {
+		t.Error("one-way must include the jitter buffer")
+	}
+}
+
+func TestProbeErrors(t *testing.T) {
+	net, p := pathWith(10, 0)
+	if _, err := Probe(net, p, 1, rng.New(2)); err == nil {
+		t.Error("n=1 should error")
+	}
+	_, dead := pathWith(10, 1)
+	if _, err := Probe(net, dead, 50, rng.New(3)); err == nil {
+		t.Error("fully lossy path should error")
+	}
+}
+
+func TestEModelDelaySensitivity(t *testing.T) {
+	e := EModel{}
+	short := ProbeResult{OneWayMs: 60, LossPercent: 0}
+	long := ProbeResult{OneWayMs: 300, LossPercent: 0} // HR-like
+	rShort, mosShort := e.Score(short)
+	rLong, mosLong := e.Score(long)
+	if rShort <= rLong || mosShort <= mosLong {
+		t.Errorf("delay must hurt: R %f vs %f", rShort, rLong)
+	}
+	if rShort < 85 {
+		t.Errorf("60 ms clean call should be excellent, R = %f", rShort)
+	}
+	// The simplified G.107 Id gives R ≈ 72.5 at 300 ms: below the
+	// "satisfied" band (80).
+	if rLong > 75 {
+		t.Errorf("300 ms call should be degraded, R = %f", rLong)
+	}
+}
+
+func TestEModelLossSensitivity(t *testing.T) {
+	e := EModel{}
+	clean := ProbeResult{OneWayMs: 100, LossPercent: 0}
+	lossy := ProbeResult{OneWayMs: 100, LossPercent: 5}
+	rClean, _ := e.Score(clean)
+	rLossy, _ := e.Score(lossy)
+	if rClean-rLossy < 5 {
+		t.Errorf("5%% loss should cost several R points: %f vs %f", rClean, rLossy)
+	}
+	// Robust codec degrades less.
+	robust := EModel{Bpl: 34}
+	rRobust, _ := robust.Score(lossy)
+	if rRobust <= rLossy {
+		t.Errorf("higher Bpl should help: %f vs %f", rRobust, rLossy)
+	}
+}
+
+func TestEModelBounds(t *testing.T) {
+	e := EModel{}
+	r, mos := e.Score(ProbeResult{OneWayMs: 2000, LossPercent: 60})
+	if r < 0 || mos < 1 {
+		t.Errorf("bounds violated: R=%f MOS=%f", r, mos)
+	}
+	r, mos = e.Score(ProbeResult{OneWayMs: 0, LossPercent: 0})
+	if r > 100 || mos > 4.5 {
+		t.Errorf("upper bounds violated: R=%f MOS=%f", r, mos)
+	}
+}
+
+func TestGradeBands(t *testing.T) {
+	cases := map[float64]string{
+		95: "very satisfied",
+		85: "satisfied",
+		75: "some users dissatisfied",
+		65: "many users dissatisfied",
+		55: "nearly all users dissatisfied",
+		20: "not recommended",
+	}
+	for r, want := range cases {
+		if got := Grade(r); got != want {
+			t.Errorf("Grade(%f) = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestMOSMonotoneInR(t *testing.T) {
+	e := EModel{}
+	prev := 5.0
+	for d := 0.0; d <= 600; d += 20 {
+		_, mos := e.Score(ProbeResult{OneWayMs: d})
+		if mos > prev+1e-9 {
+			t.Fatalf("MOS not monotone at delay %f", d)
+		}
+		prev = mos
+	}
+}

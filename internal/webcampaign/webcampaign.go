@@ -1,0 +1,278 @@
+// Package webcampaign reimplements the web-based measurement campaign of
+// Section 3.1: traveling volunteers open the study webpage, upload a
+// screenshot of their network settings (verified by a vision model in
+// the paper; by a deterministic parser here), report their DNS
+// configuration, run a fast.com-style speedtest in an iframe, and upload
+// the result screenshot.
+//
+// The collection server is real net/http; volunteers are simulated
+// clients driving sessions of the airalo world.
+package webcampaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"roamsim/internal/airalo"
+	"roamsim/internal/measure"
+	"roamsim/internal/netsim"
+	"roamsim/internal/rng"
+)
+
+// Screenshot is the structured stand-in for an uploaded image: the
+// fields a vision model would extract from a settings or results screen.
+type Screenshot struct {
+	Kind string `json:"kind"` // "settings" or "speedtest"
+	// Settings screen fields.
+	NetworkName string `json:"network_name,omitempty"` // carrier displayed
+	APN         string `json:"apn,omitempty"`
+	Transport   string `json:"transport,omitempty"` // "cellular" or "wifi"
+	// Speedtest result fields.
+	DownMbps  float64 `json:"down_mbps,omitempty"`
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+}
+
+// VerifySettings is the ChatGPT-vision substitute: it accepts the
+// screenshot only if the device is on cellular via the provided Airalo
+// eSIM (not Wi-Fi, not another carrier).
+func VerifySettings(sc Screenshot, wantAPNContains string) error {
+	if sc.Kind != "settings" {
+		return fmt.Errorf("webcampaign: expected a settings screenshot, got %q", sc.Kind)
+	}
+	if sc.Transport != "cellular" {
+		return fmt.Errorf("webcampaign: device is on %s, not cellular", sc.Transport)
+	}
+	if !strings.Contains(sc.APN, wantAPNContains) {
+		return fmt.Errorf("webcampaign: APN %q is not the study eSIM", sc.APN)
+	}
+	return nil
+}
+
+// VerifySpeedtest extracts the numbers from a results screenshot.
+func VerifySpeedtest(sc Screenshot) (down, latency float64, err error) {
+	if sc.Kind != "speedtest" {
+		return 0, 0, fmt.Errorf("webcampaign: expected a speedtest screenshot")
+	}
+	if sc.DownMbps <= 0 || sc.LatencyMs <= 0 {
+		return 0, 0, fmt.Errorf("webcampaign: unreadable speedtest screenshot")
+	}
+	return sc.DownMbps, sc.LatencyMs, nil
+}
+
+// Measurement is one completed web measurement (the Table 3 unit): a
+// verified settings screenshot, the DNS configuration, and a speedtest.
+type Measurement struct {
+	Country    string  `json:"country"`
+	Volunteer  string  `json:"volunteer"`
+	PublicIP   string  `json:"public_ip"`
+	Resolver   string  `json:"resolver"`
+	ResolverCC string  `json:"resolver_cc"`
+	DownMbps   float64 `json:"down_mbps"`
+	LatencyMs  float64 `json:"latency_ms"`
+}
+
+// Server collects campaign uploads.
+type Server struct {
+	mu       sync.Mutex
+	complete []Measurement
+	partial  map[string]*Measurement // volunteer -> in-flight measurement
+	apnToken string
+}
+
+// NewServer returns a collection server that accepts eSIMs whose APN
+// contains apnToken ("airalo" for the study profiles).
+func NewServer(apnToken string) *Server {
+	return &Server{partial: map[string]*Measurement{}, apnToken: apnToken}
+}
+
+// Completed returns all fully completed measurements.
+func (s *Server) Completed() []Measurement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Measurement(nil), s.complete...)
+}
+
+// CompletedByCountry returns completed-measurement counts per country.
+func (s *Server) CompletedByCountry() map[string]int {
+	out := map[string]int{}
+	for _, m := range s.Completed() {
+		out[m.Country]++
+	}
+	return out
+}
+
+// Handler exposes the campaign webpage's API:
+//
+//	POST /v1/screenshot  {volunteer, country, screenshot}
+//	POST /v1/dns         {volunteer, resolver, resolver_cc, public_ip}
+//	POST /v1/speedtest   {volunteer, screenshot}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/screenshot", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Volunteer  string     `json:"volunteer"`
+			Country    string     `json:"country"`
+			Screenshot Screenshot `json:"screenshot"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad upload", http.StatusBadRequest)
+			return
+		}
+		if err := VerifySettings(req.Screenshot, s.apnToken); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		s.mu.Lock()
+		s.partial[req.Volunteer] = &Measurement{Country: req.Country, Volunteer: req.Volunteer}
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/dns", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Volunteer  string `json:"volunteer"`
+			Resolver   string `json:"resolver"`
+			ResolverCC string `json:"resolver_cc"`
+			PublicIP   string `json:"public_ip"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad upload", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		m, ok := s.partial[req.Volunteer]
+		if !ok {
+			http.Error(w, "screenshot not verified yet", http.StatusConflict)
+			return
+		}
+		m.Resolver, m.ResolverCC, m.PublicIP = req.Resolver, req.ResolverCC, req.PublicIP
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/speedtest", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Volunteer  string     `json:"volunteer"`
+			Screenshot Screenshot `json:"screenshot"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad upload", http.StatusBadRequest)
+			return
+		}
+		down, lat, err := VerifySpeedtest(req.Screenshot)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		m, ok := s.partial[req.Volunteer]
+		if !ok || m.Resolver == "" {
+			http.Error(w, "earlier steps incomplete", http.StatusConflict)
+			return
+		}
+		m.DownMbps, m.LatencyMs = down, lat
+		s.complete = append(s.complete, *m)
+		delete(s.partial, req.Volunteer)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// Volunteer drives the webpage flow for one traveler.
+type Volunteer struct {
+	Name    string
+	BaseURL string
+	Client  *http.Client
+	Dep     *airalo.Deployment
+	Src     *rng.Source
+	// OnWiFi simulates a volunteer who forgot to disable Wi-Fi; their
+	// settings screenshot is rejected and the measurement doesn't count.
+	OnWiFi bool
+}
+
+// RunMeasurement performs one complete webpage visit. It returns an
+// error when any step is rejected (those visits are the gap between
+// attempted and completed measurements in Table 3).
+func (v *Volunteer) RunMeasurement() error {
+	client := v.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	session, err := v.Dep.AttachESIM(v.Src)
+	if err != nil {
+		return err
+	}
+	transport := "cellular"
+	if v.OnWiFi {
+		transport = "wifi"
+	}
+	if err := v.post(client, "/v1/screenshot", map[string]any{
+		"volunteer": v.Name, "country": v.Dep.Country.ISO3,
+		"screenshot": Screenshot{
+			Kind: "settings", NetworkName: v.Dep.VMNO.Name,
+			APN: session.Profile.APN, Transport: transport,
+		},
+	}); err != nil {
+		return err
+	}
+	dns, err := measure.DNSLookup(session, v.Src)
+	if err != nil {
+		return err
+	}
+	if err := v.post(client, "/v1/dns", map[string]any{
+		"volunteer": v.Name, "resolver": dns.Resolver.Addr.String(),
+		"resolver_cc": dns.Resolver.Country, "public_ip": session.PublicIP.String(),
+	}); err != nil {
+		return err
+	}
+	down, lat, err := fastcom(session, v.Src)
+	if err != nil {
+		return err
+	}
+	return v.post(client, "/v1/speedtest", map[string]any{
+		"volunteer": v.Name,
+		"screenshot": Screenshot{
+			Kind: "speedtest", DownMbps: down, LatencyMs: lat,
+		},
+	})
+}
+
+// fastcom measures downlink to the nearest Netflix edge (what the
+// fast.com iframe reports).
+func fastcom(s *airalo.Session, src *rng.Source) (downMbps, latencyMs float64, err error) {
+	w := s.World()
+	netflix, ok := w.SPs["Netflix"]
+	if !ok {
+		return 0, 0, fmt.Errorf("webcampaign: world has no Netflix deployment")
+	}
+	edge, err := netflix.NearestEdge(s.Site.Loc)
+	if err != nil {
+		return 0, 0, err
+	}
+	path, err := s.PathTo(edge.Server)
+	if err != nil {
+		return 0, 0, err
+	}
+	res := func() netsim.SpeedtestResult {
+		return w.Net.Speedtest(path, s.DownCapMbps, s.UpCapMbps, src)
+	}()
+	return res.DownloadMbps, res.LatencyMs, nil
+}
+
+func (v *Volunteer) post(client *http.Client, path string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(v.BaseURL+path, "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("webcampaign: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package webcampaign
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roamsim/internal/airalo"
+	"roamsim/internal/rng"
+)
+
+var sharedWorld *airalo.World
+
+func world(t *testing.T) *airalo.World {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := airalo.Build(31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld = w
+	}
+	return sharedWorld
+}
+
+func TestVerifySettings(t *testing.T) {
+	good := Screenshot{Kind: "settings", Transport: "cellular", APN: "internet.airalo"}
+	if err := VerifySettings(good, "airalo"); err != nil {
+		t.Errorf("good screenshot rejected: %v", err)
+	}
+	bad := []Screenshot{
+		{Kind: "speedtest"},
+		{Kind: "settings", Transport: "wifi", APN: "internet.airalo"},
+		{Kind: "settings", Transport: "cellular", APN: "internet"},
+	}
+	for i, sc := range bad {
+		if err := VerifySettings(sc, "airalo"); err == nil {
+			t.Errorf("bad screenshot %d accepted", i)
+		}
+	}
+}
+
+func TestVerifySpeedtest(t *testing.T) {
+	if _, _, err := VerifySpeedtest(Screenshot{Kind: "speedtest", DownMbps: 20, LatencyMs: 50}); err != nil {
+		t.Errorf("good result rejected: %v", err)
+	}
+	if _, _, err := VerifySpeedtest(Screenshot{Kind: "speedtest"}); err == nil {
+		t.Error("empty result accepted")
+	}
+	if _, _, err := VerifySpeedtest(Screenshot{Kind: "settings"}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestFullVolunteerFlow(t *testing.T) {
+	w := world(t)
+	srv := NewServer("airalo")
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	src := rng.New(2)
+	for _, iso := range []string{"FRA", "PAK", "UZB"} {
+		v := &Volunteer{
+			Name: "vol-" + iso, BaseURL: hs.URL,
+			Dep: w.Deployments[iso], Src: src.Fork(iso),
+		}
+		for i := 0; i < 3; i++ {
+			if err := v.RunMeasurement(); err != nil {
+				t.Fatalf("%s measurement %d: %v", iso, i, err)
+			}
+		}
+	}
+	byCountry := srv.CompletedByCountry()
+	for _, iso := range []string{"FRA", "PAK", "UZB"} {
+		if byCountry[iso] != 3 {
+			t.Errorf("%s completed = %d, want 3", iso, byCountry[iso])
+		}
+	}
+	// Completed measurements carry usable data.
+	for _, m := range srv.Completed() {
+		if m.DownMbps <= 0 || m.LatencyMs <= 0 || m.PublicIP == "" || m.Resolver == "" {
+			t.Errorf("incomplete measurement recorded: %+v", m)
+		}
+	}
+}
+
+func TestWiFiScreenshotRejected(t *testing.T) {
+	w := world(t)
+	srv := NewServer("airalo")
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	v := &Volunteer{
+		Name: "wifi-vol", BaseURL: hs.URL,
+		Dep: w.Deployments["ITA"], Src: rng.New(3), OnWiFi: true,
+	}
+	if err := v.RunMeasurement(); err == nil {
+		t.Fatal("Wi-Fi measurement should be rejected")
+	}
+	if len(srv.Completed()) != 0 {
+		t.Error("rejected measurement must not count")
+	}
+}
+
+func TestStepsOutOfOrderRejected(t *testing.T) {
+	srv := NewServer("airalo")
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	// DNS upload without a verified screenshot.
+	resp, err := hs.Client().Post(hs.URL+"/v1/dns", "application/json",
+		jsonBody(`{"volunteer":"x","resolver":"8.8.8.8","resolver_cc":"USA","public_ip":"1.2.3.4"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Errorf("out-of-order dns: HTTP %d, want 409", resp.StatusCode)
+	}
+	// Speedtest without earlier steps.
+	resp, err = hs.Client().Post(hs.URL+"/v1/speedtest", "application/json",
+		jsonBody(`{"volunteer":"x","screenshot":{"kind":"speedtest","down_mbps":10,"latency_ms":40}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Errorf("out-of-order speedtest: HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestFastcomUsesBreakoutLocation(t *testing.T) {
+	// France's eSIM breaks out in Virginia: fast.com latency must look
+	// transatlantic even though the user is in Paris.
+	w := world(t)
+	src := rng.New(4)
+	s, err := w.Deployments["FRA"].AttachESIM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lat, err := fastcom(s, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < 60 {
+		t.Errorf("FRA eSIM fast.com latency = %.0f ms, should reflect the Virginia breakout", lat)
+	}
+}
+
+func jsonBody(s string) io.Reader { return strings.NewReader(s) }

@@ -1,0 +1,197 @@
+// Package roamsim is a simulation and measurement toolkit for studying
+// thick Mobile Network Aggregators (MNAs), reproducing the IMC 2025
+// paper "Roam Without a Home: Unraveling the Airalo Ecosystem".
+//
+// The library models the full ecosystem a thick MNA spans — visited
+// radio networks, the IPX interconnection fabric, GTP tunnels, PGW
+// breakout providers, the public internet with content-provider edges,
+// DNS (including anycast and DoH), CDNs, and an eSIM marketplace — and
+// implements the paper's tomography methodology on top: roaming
+// architecture classification (HR / LBO / IHBO / native), traceroute
+// demarcation at the first public hop, PGW geolocation, and IMSI-range
+// mining.
+//
+// # Quick start
+//
+//	w, err := roamsim.NewWorld(42)
+//	if err != nil { ... }
+//	s, err := w.Deployment("DEU").AttachESIM(w.Rand())
+//	if err != nil { ... }
+//	res, err := roamsim.Speedtest(s, w.Rand())
+//	arch, err := w.ClassifyArchitecture(s)   // -> IHBO
+//
+// # Regenerating the paper
+//
+//	r, err := roamsim.NewExperimentRunner(roamsim.DefaultExperimentConfig())
+//	tab, err := r.Table2()
+//	fmt.Println(tab)
+//
+// Everything is deterministic for a given seed.
+package roamsim
+
+import (
+	"roamsim/internal/airalo"
+	"roamsim/internal/cdnsim"
+	"roamsim/internal/core"
+	"roamsim/internal/dnssim"
+	"roamsim/internal/esimdb"
+	"roamsim/internal/experiments"
+	"roamsim/internal/ipx"
+	"roamsim/internal/measure"
+	"roamsim/internal/mno"
+	"roamsim/internal/rng"
+	"roamsim/internal/video"
+)
+
+// Architecture is a roaming data-path architecture.
+type Architecture = ipx.Architecture
+
+// The roaming architectures the classifier distinguishes.
+const (
+	HR     = ipx.HR
+	LBO    = ipx.LBO
+	IHBO   = ipx.IHBO
+	Native = ipx.Native
+)
+
+// Session is one attachment of a SIM/eSIM profile in a visited country.
+type Session = airalo.Session
+
+// Deployment is one visited country's measurement setup.
+type Deployment = airalo.Deployment
+
+// Rand is a deterministic random stream.
+type Rand = rng.Source
+
+// World is the simulated Airalo ecosystem: 24 visited-country
+// deployments, six roaming b-MNOs, the PGW providers of Table 2, the
+// public internet, and the emnify validation operator.
+type World struct {
+	w   *airalo.World
+	rnd *rng.Source
+}
+
+// NewWorld builds the ecosystem deterministically from a seed.
+func NewWorld(seed int64) (*World, error) {
+	w, err := airalo.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &World{w: w, rnd: rng.New(seed).Fork("api")}, nil
+}
+
+// Rand returns the world's default random stream. Callers needing
+// reproducible sub-experiments should Fork it.
+func (w *World) Rand() *Rand { return w.rnd }
+
+// Deployment returns the deployment for an ISO3 country code (or
+// "EMNIFY" for the validation setup), nil if absent.
+func (w *World) Deployment(key string) *Deployment { return w.w.Deployments[key] }
+
+// DeploymentKeys lists deployment keys; set web or device to filter to a
+// campaign (both false = all 24 visited countries).
+func (w *World) DeploymentKeys(web, device bool) []string {
+	return w.w.DeploymentKeys(web, device)
+}
+
+// Raw exposes the underlying world for advanced use (topology access,
+// registries). The returned value shares state with the World.
+func (w *World) Raw() *airalo.World { return w.w }
+
+// ClassifyArchitecture applies the paper's classification rule to a
+// session: match the ASN of its public IP against the b-MNO (HR), the
+// v-MNO (LBO), or a third party (IHBO).
+func (w *World) ClassifyArchitecture(s *Session) (Architecture, error) {
+	cl := &core.Classifier{Reg: w.w.Reg}
+	// The b-MNO is the session profile's issuer: for an eSIM that is the
+	// Airalo-contracted operator, for a physical SIM the local operator.
+	return cl.ArchOf(s.PublicIP, s.Profile.Issuer, s.D.VMNO)
+}
+
+// Measurement tools (Table 1), re-exported from internal/measure.
+
+// TraceResult is a traceroute with session context.
+type TraceResult = measure.TraceResult
+
+// SpeedtestResult is an Ookla-style observation.
+type SpeedtestResult = measure.SpeedtestResult
+
+// DNSLookupResult is a Nextdns-style resolver observation.
+type DNSLookupResult = dnssim.LookupResult
+
+// VideoStats is a stats-for-nerds summary.
+type VideoStats = video.Stats
+
+// VideoConfig parameterizes a playback session.
+type VideoConfig = video.Config
+
+// Traceroute runs an mtr-style traceroute to a service provider
+// ("Google", "Facebook", "Ookla", ...).
+func Traceroute(s *Session, sp string, r *Rand) (TraceResult, error) {
+	return measure.Traceroute(s, sp, r)
+}
+
+// Speedtest runs a bandwidth test against the Ookla server nearest the
+// session's breakout.
+func Speedtest(s *Session, r *Rand) (SpeedtestResult, error) {
+	return measure.Speedtest(s, r)
+}
+
+// DNSLookup resolves through the session's DNS configuration.
+func DNSLookup(s *Session, r *Rand) (DNSLookupResult, error) {
+	return measure.DNSLookup(s, r)
+}
+
+// StreamVideo plays the 4K test video over the session.
+func StreamVideo(s *Session, cfg VideoConfig, r *Rand) (VideoStats, error) {
+	return measure.StreamVideo(s, cfg, r)
+}
+
+// CDNFetch downloads jquery.min.js from one of the five CDN providers.
+func CDNFetch(s *Session, provider string, r *Rand) (CDNFetchResult, error) {
+	return measure.CDNFetch(s, provider, r)
+}
+
+// CDNFetchResult is one CDN download observation.
+type CDNFetchResult = cdnsim.FetchResult
+
+// Demarcate splits a traceroute at the first public hop and derives the
+// paper's per-traceroute metrics (private/public lengths, PGW identity
+// and RTT, unique ASNs).
+func (w *World) Demarcate(tr TraceResult) (PathAnalysis, error) {
+	return core.Demarcate(tr.Raw, w.w.Reg)
+}
+
+// PathAnalysis is the demarcated view of one traceroute.
+type PathAnalysis = core.PathAnalysis
+
+// MineIMSIRanges infers the IMSI blocks an operator leases to an
+// aggregator from the IMSIs of seeded devices.
+func MineIMSIRanges(seeded []mno.IMSI, opts core.MineOptions) (core.RangeSet, error) {
+	return core.MineIMSIRanges(seeded, opts)
+}
+
+// Marketplace opens the synthetic eSIM marketplace aggregator.
+func Marketplace(seed int64, providers int) *esimdb.Marketplace {
+	return esimdb.New(seed, providers)
+}
+
+// ExperimentRunner regenerates the paper's tables and figures.
+type ExperimentRunner = experiments.Runner
+
+// ExperimentConfig sizes the regeneration campaigns.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig returns campaign sizes comparable to the
+// paper's Table 4.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// NewExperimentRunner builds a world and experiment runner.
+func NewExperimentRunner(cfg ExperimentConfig) (*ExperimentRunner, error) {
+	return experiments.NewRunner(cfg)
+}
+
+// NewExperimentRunnerWith reuses an existing world.
+func NewExperimentRunnerWith(w *World, cfg ExperimentConfig) *ExperimentRunner {
+	return experiments.NewRunnerWith(w.w, cfg)
+}

@@ -1,0 +1,109 @@
+package roamsim
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, err := NewWorld(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.DeploymentKeys(false, false)); got != 24 {
+		t.Fatalf("visited countries = %d, want 24", got)
+	}
+
+	// Attach the German eSIM and classify it: must be IHBO.
+	d := w.Deployment("DEU")
+	if d == nil {
+		t.Fatal("DEU deployment missing")
+	}
+	s, err := d.AttachESIM(w.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := w.ClassifyArchitecture(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch != IHBO {
+		t.Errorf("DEU eSIM arch = %s, want IHBO", arch)
+	}
+
+	// Run the full tool suite through the facade.
+	if _, err := Speedtest(s, w.Rand()); err != nil {
+		t.Errorf("Speedtest: %v", err)
+	}
+	tr, err := Traceroute(s, "Google", w.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := w.Demarcate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.PGW.Country != "NLD" && pa.PGW.Country != "FRA" {
+		t.Errorf("PGW country = %s", pa.PGW.Country)
+	}
+	if _, err := DNSLookup(s, w.Rand()); err != nil {
+		t.Errorf("DNSLookup: %v", err)
+	}
+	if _, err := CDNFetch(s, "Cloudflare", w.Rand()); err != nil {
+		t.Errorf("CDNFetch: %v", err)
+	}
+	if _, err := StreamVideo(s, VideoConfig{DurationSec: 30}, w.Rand()); err != nil {
+		t.Errorf("StreamVideo: %v", err)
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() (string, float64) {
+		w, err := NewWorld(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := w.Deployment("GEO").AttachESIM(w.Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Speedtest(s, w.Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.PGWAddr.String(), res.DownMbps
+	}
+	a1, d1 := run()
+	a2, d2 := run()
+	if a1 != a2 || d1 != d2 {
+		t.Errorf("same seed must reproduce: (%s, %f) vs (%s, %f)", a1, d1, a2, d2)
+	}
+}
+
+func TestMarketplaceFacade(t *testing.T) {
+	m := Marketplace(1, 54)
+	if got := len(m.Providers()); got != 54 {
+		t.Errorf("providers = %d", got)
+	}
+}
+
+func TestFacadeCoverage(t *testing.T) {
+	w, err := NewWorld(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := w.Raw(); raw == nil || len(raw.Deployments) != 25 {
+		t.Error("Raw() should expose the underlying world")
+	}
+	if got := len(w.DeploymentKeys(true, false)); got != 14 {
+		t.Errorf("web keys = %d", got)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.TracesPerCountry = 2
+	r := NewExperimentRunnerWith(w, cfg)
+	if r.W != w.Raw() {
+		t.Error("runner should wrap the same world")
+	}
+	if _, err := r.Figure3(); err != nil {
+		t.Errorf("runner over shared world: %v", err)
+	}
+}
