@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify vet build test race bench
+
+## verify: the CI entry point — vet, build, then race-enabled tests.
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: regenerate every table/figure benchmark (incl. the campaign
+## serial-vs-parallel speedup headline).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -10,8 +10,13 @@ package roamsim
 // EXPERIMENTS.md records paper-vs-measured values for every artifact.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
+
+	"roamsim/internal/netsim"
 )
 
 var (
@@ -389,6 +394,183 @@ func BenchmarkConfounders(b *testing.B) {
 	r := benchSetup(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Confounders(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Parallel campaign engine ----
+
+// campaignBenchConfig sizes a full five-campaign regeneration small
+// enough to iterate but large enough that the worker pool matters.
+func campaignBenchConfig(workers int) ExperimentConfig {
+	cfg := DefaultExperimentConfig()
+	cfg.TracesPerCountry = 8
+	cfg.SpeedtestsPerCountry = 12
+	cfg.CDNFetchesPerCountry = 4
+	cfg.DNSPerCountry = 8
+	cfg.VideosPerCountry = 3
+	cfg.WebMeasurements = 3
+	cfg.Workers = workers
+	return cfg
+}
+
+func runCampaigns(r *ExperimentRunner) error {
+	if _, err := r.Traces(); err != nil {
+		return err
+	}
+	if _, err := r.Speedtests(); err != nil {
+		return err
+	}
+	if _, err := r.CDNFetches(); err != nil {
+		return err
+	}
+	if _, err := r.DNSLookups(); err != nil {
+		return err
+	}
+	_, err := r.Videos()
+	return err
+}
+
+var (
+	campaignWorldOnce sync.Once
+	campaignWorld     *World
+	campaignWorldErr  error
+)
+
+func campaignBenchWorld(b *testing.B) *World {
+	b.Helper()
+	campaignWorldOnce.Do(func() {
+		campaignWorld, campaignWorldErr = NewWorld(42)
+	})
+	if campaignWorldErr != nil {
+		b.Fatal(campaignWorldErr)
+	}
+	return campaignWorld
+}
+
+func benchCampaign(b *testing.B, workers int) {
+	w := campaignBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh runner per iteration: memoization would otherwise turn
+		// every iteration after the first into a map read.
+		r := NewExperimentRunnerWith(w, campaignBenchConfig(workers))
+		if err := runCampaigns(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+var campaignSpeedupOnce sync.Once
+
+func BenchmarkCampaignParallel(b *testing.B) {
+	w := campaignBenchWorld(b)
+	// One-shot headline: time a serial pass against a full-width pass on
+	// the same warm world so the comparison isolates the worker pool.
+	campaignSpeedupOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0)
+		t0 := time.Now()
+		if err := runCampaigns(NewExperimentRunnerWith(w, campaignBenchConfig(1))); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		t0 = time.Now()
+		if err := runCampaigns(NewExperimentRunnerWith(w, campaignBenchConfig(workers))); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t0)
+		b.Logf("campaign speedup headline: serial %v / parallel %v = %.2fx (workers=%d, NumCPU=%d)",
+			serial, parallel, float64(serial)/float64(parallel), workers, runtime.NumCPU())
+	})
+	benchCampaign(b, runtime.GOMAXPROCS(0))
+}
+
+// ---- Routing fast path ----
+
+// benchRouteNetwork builds a frozen 40x40 grid (1600 nodes, ~3100
+// links) with varied integer delays — big enough that a cache miss runs
+// a real Dijkstra, regular enough to be cheap to construct.
+func benchRouteNetwork() (*netsim.Network, int) {
+	const k = 40
+	net := netsim.New()
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			net.AddNode(netsim.Node{Name: fmt.Sprintf("g%d-%d", x, y)})
+		}
+	}
+	id := func(x, y int) netsim.NodeID { return netsim.NodeID(y*k + x) }
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			d := float64(1 + (x*31+y*17)%7)
+			if x+1 < k {
+				net.Connect(id(x, y), id(x+1, y), netsim.Link{DelayMs: d})
+			}
+			if y+1 < k {
+				net.Connect(id(x, y), id(x, y+1), netsim.Link{DelayMs: d + 0.5})
+			}
+		}
+	}
+	net.Freeze()
+	return net, k * k
+}
+
+// BenchmarkRouteHit measures the cached fast path: a shard read-lock
+// plus one map probe.
+func BenchmarkRouteHit(b *testing.B) {
+	net, v := benchRouteNetwork()
+	if _, err := net.Route(0, netsim.NodeID(v-1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Route(0, netsim.NodeID(v-1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteHitParallel is the contended version of the hit path:
+// with the sharded cache this scales with cores instead of serializing
+// on one mutex.
+func BenchmarkRouteHitParallel(b *testing.B) {
+	net, v := benchRouteNetwork()
+	// Warm a spread of pairs across shards.
+	pairs := make([][2]netsim.NodeID, 64)
+	for i := range pairs {
+		pairs[i] = [2]netsim.NodeID{netsim.NodeID(i), netsim.NodeID(v - 1 - i)}
+		if _, err := net.Route(pairs[i][0], pairs[i][1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := pairs[i&63]
+			i++
+			if _, err := net.Route(p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRouteMiss measures the uncached path: heap Dijkstra over the
+// grid plus single-flight bookkeeping. The network is rebuilt per
+// invocation and every iteration asks for a pair not yet cached.
+func BenchmarkRouteMiss(b *testing.B) {
+	net, v := benchRouteNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := netsim.NodeID((i / v) % v)
+		dst := netsim.NodeID(i % v)
+		if src == dst {
+			dst = (dst + 1) % netsim.NodeID(v)
+		}
+		if _, err := net.Route(src, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

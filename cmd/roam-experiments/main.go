@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	roam-experiments [-seed N] [-exp table2|fig11|all|...] [-csv] [-quick]
+//	roam-experiments [-seed N] [-exp table2|fig11|all|...] [-csv] [-quick] [-workers N]
 //
 // Experiment names: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10 fig11 fig12 fig13 fig14a fig14b fig15 fig16 fig17 fig18
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"roamsim/internal/experiments"
@@ -28,10 +29,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := flag.Bool("quick", false, "smaller campaigns (faster, noisier)")
 	out := flag.String("out", "", "export every artifact (txt+csv) into this directory and exit")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *quick {
 		cfg.TracesPerCountry = 10
 		cfg.SpeedtestsPerCountry = 20
@@ -59,8 +62,11 @@ func main() {
 		wanted[strings.TrimSpace(name)] = true
 	}
 	all := wanted["all"]
+	delete(wanted, "all")
 	run := func(name string, f func() error) {
-		if !all && !wanted[name] {
+		known := wanted[name]
+		delete(wanted, name)
+		if !all && !known {
 			return
 		}
 		if err := f(); err != nil {
@@ -213,6 +219,15 @@ func main() {
 	run("jurisdiction", func() error { t, err := r.DiscussionJurisdiction(); emitIf(err, t, emit); return err })
 	run("confounders", func() error { t, err := r.Confounders(); emitIf(err, t, emit); return err })
 	run("signaling", func() error { t, err := r.SignalingBreakdown(); emitIf(err, t, emit); return err })
+
+	if len(wanted) > 0 {
+		unknown := make([]string, 0, len(wanted))
+		for name := range wanted {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		fatal(fmt.Errorf("unknown experiment(s): %s (see -h for the list)", strings.Join(unknown, ", ")))
+	}
 }
 
 func emitIf(err error, t *report.Table, emit func(*report.Table)) {

@@ -178,6 +178,13 @@ func Build(seed int64) (*World, error) {
 	if err := w.buildDeployment(emnifySpec, "EMNIFY"); err != nil {
 		return nil, fmt.Errorf("airalo: emnify deployment: %w", err)
 	}
+	// End of the build phase: from here the topology is immutable and
+	// every query — Attach*, PathTo, routing, the measurement tools — is
+	// safe for concurrent use, provided each goroutine gets its own
+	// rng.Source (see internal/rng). GTP state and the IP registry have
+	// their own locks; the one remaining world-level mutation,
+	// Net.SetLoadModel, stays legal after Freeze.
+	w.Net.Freeze()
 	return w, nil
 }
 

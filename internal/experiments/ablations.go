@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"roamsim/internal/core"
 	"roamsim/internal/geo"
@@ -154,9 +155,16 @@ func (r *Runner) AblationPeering() (*report.Table, error) {
 			byProv[s.Provider.Name] = append(byProv[s.Provider.Name], rtt)
 			siteOf[s.Provider.Name] = s.Site.Loc
 		}
-		for prov, v := range byProv {
+		// Emit rows in sorted provider order: map iteration order would
+		// otherwise leak into the table and break determinism per seed.
+		provs := make([]string, 0, len(byProv))
+		for prov := range byProv {
+			provs = append(provs, prov)
+		}
+		sort.Strings(provs)
+		for _, prov := range provs {
 			floor := 2 * geo.PropagationDelayMs(d.Loc, siteOf[prov])
-			measured := stats.Median(v)
+			measured := stats.Median(byProv[prov])
 			t.AddRow(iso, prov, fmt.Sprintf("%.0f", floor),
 				fmt.Sprintf("%.0f", measured), fmt.Sprintf("%.0f", measured-floor))
 		}
@@ -194,7 +202,9 @@ func (r *Runner) Validation() (*report.Table, error) {
 		}
 		best, bestN := "", 0
 		for k, c := range counts {
-			if c > bestN {
+			// Tie-break on the key so a split vote resolves the same way
+			// every run (map iteration order is randomized).
+			if c > bestN || (c == bestN && (best == "" || k < best)) {
 				best, bestN = k, c
 			}
 		}

@@ -8,10 +8,20 @@
 // A Runner owns the world and memoizes the raw measurement datasets so
 // figures that share inputs (e.g. Figures 7/8/9/10 all come from the
 // traceroute campaign) don't re-measure.
+//
+// # Parallel campaigns
+//
+// Each campaign enumerates its work as (country, SIM kind,
+// target/provider, rep) units, pre-forks one labeled rng.Source per unit
+// in canonical order, and executes the units on a bounded worker pool
+// (Config.Workers, default GOMAXPROCS); see parallel.go. Observations
+// are merged back in canonical unit order, so the memoized datasets are
+// byte-identical no matter the worker count or GOMAXPROCS.
 package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"roamsim/internal/airalo"
 	"roamsim/internal/core"
@@ -31,6 +41,11 @@ type Config struct {
 	DNSPerCountry        int // per (country, config)
 	VideosPerCountry     int // per (country, config)
 	WebMeasurements      int // per web-campaign country
+
+	// Workers bounds the campaign worker pool. 0 (the default) means
+	// GOMAXPROCS at campaign time; 1 forces serial execution. Results
+	// are identical for every value — see the package doc.
+	Workers int
 }
 
 // DefaultConfig returns campaign sizes comparable to Table 4's counts.
@@ -72,11 +87,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Runner executes and memoizes the measurement campaigns.
+// Runner executes and memoizes the measurement campaigns. Methods are
+// safe for concurrent use: memoization is guarded by a mutex, and the
+// campaigns themselves parallelize internally.
 type Runner struct {
 	W   *airalo.World
 	Cfg Config
 
+	mu     sync.Mutex // guards the memo fields below
 	traces []TraceObs
 	speeds []SpeedObs
 	cdns   []CDNObs
@@ -174,38 +192,48 @@ func attach(d *airalo.Deployment, kind mno.SIMKind, src *rng.Source) (*airalo.Se
 // Traces runs (or returns the memoized) traceroute campaign: every
 // device-campaign country, both configurations, Google and Facebook.
 func (r *Runner) Traces() ([]TraceObs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.traces != nil {
 		return r.traces, nil
 	}
-	src := rng.New(r.Cfg.Seed).Fork("traces")
-	var out []TraceObs
+	var units []unit[TraceObs]
 	for _, iso := range deviceCountries {
 		d := r.W.Deployments[iso]
 		for _, kind := range kindsFor(d) {
 			for _, target := range []string{"Google", "Facebook"} {
 				for i := 0; i < r.Cfg.TracesPerCountry; i++ {
-					s, err := attach(d, kind, src)
-					if err != nil {
-						return nil, err
-					}
-					tr, err := measure.Traceroute(s, target, src)
-					if err != nil {
-						return nil, err
-					}
-					pa, err := core.Demarcate(tr.Raw, r.W.Reg)
-					if err != nil {
-						// Fully silent paths happen (e.g. a mute CG-NAT plus
-						// unlucky ICMP); skip like the paper's parser would.
-						continue
-					}
-					out = append(out, TraceObs{
-						ISO: iso, Kind: kind, Arch: s.Arch, Target: target,
-						Provider: pa.PGW.AS.Org, PA: pa,
-						RAT: s.Radio.Sample(src).RAT,
+					units = append(units, unit[TraceObs]{
+						label: fmt.Sprintf("%s/%s/%s/%d", iso, kind, target, i),
+						run: func(src *rng.Source) ([]TraceObs, error) {
+							s, err := attach(d, kind, src)
+							if err != nil {
+								return nil, err
+							}
+							tr, err := measure.Traceroute(s, target, src)
+							if err != nil {
+								return nil, err
+							}
+							pa, err := core.Demarcate(tr.Raw, r.W.Reg)
+							if err != nil {
+								// Fully silent paths happen (e.g. a mute CG-NAT plus
+								// unlucky ICMP); skip like the paper's parser would.
+								return nil, nil
+							}
+							return []TraceObs{{
+								ISO: iso, Kind: kind, Arch: s.Arch, Target: target,
+								Provider: pa.PGW.AS.Org, PA: pa,
+								RAT: s.Radio.Sample(src).RAT,
+							}}, nil
+						},
 					})
 				}
 			}
 		}
+	}
+	out, err := runUnits(rng.New(r.Cfg.Seed).Fork("traces"), r.Cfg.workers(), units)
+	if err != nil {
+		return nil, err
 	}
 	r.traces = out
 	return out, nil
@@ -213,31 +241,41 @@ func (r *Runner) Traces() ([]TraceObs, error) {
 
 // Speedtests runs (or returns) the Ookla campaign.
 func (r *Runner) Speedtests() ([]SpeedObs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.speeds != nil {
 		return r.speeds, nil
 	}
-	src := rng.New(r.Cfg.Seed).Fork("speedtests")
-	var out []SpeedObs
+	var units []unit[SpeedObs]
 	for _, iso := range deviceCountries {
 		d := r.W.Deployments[iso]
 		for _, kind := range kindsFor(d) {
 			for i := 0; i < r.Cfg.SpeedtestsPerCountry; i++ {
-				s, err := attach(d, kind, src)
-				if err != nil {
-					return nil, err
-				}
-				res, err := measure.Speedtest(s, src)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, SpeedObs{
-					ISO: iso, Kind: kind, Arch: s.Arch,
-					RAT: res.Radio.RAT, CQI: res.Radio.CQI,
-					Down: res.DownMbps, Up: res.UpMbps,
-					LatencyMs: res.LatencyMs, ServerCity: res.ServerCity,
+				units = append(units, unit[SpeedObs]{
+					label: fmt.Sprintf("%s/%s/%d", iso, kind, i),
+					run: func(src *rng.Source) ([]SpeedObs, error) {
+						s, err := attach(d, kind, src)
+						if err != nil {
+							return nil, err
+						}
+						res, err := measure.Speedtest(s, src)
+						if err != nil {
+							return nil, err
+						}
+						return []SpeedObs{{
+							ISO: iso, Kind: kind, Arch: s.Arch,
+							RAT: res.Radio.RAT, CQI: res.Radio.CQI,
+							Down: res.DownMbps, Up: res.UpMbps,
+							LatencyMs: res.LatencyMs, ServerCity: res.ServerCity,
+						}}, nil
+					},
 				})
 			}
 		}
+	}
+	out, err := runUnits(rng.New(r.Cfg.Seed).Fork("speedtests"), r.Cfg.workers(), units)
+	if err != nil {
+		return nil, err
 	}
 	r.speeds = out
 	return out, nil
@@ -245,32 +283,42 @@ func (r *Runner) Speedtests() ([]SpeedObs, error) {
 
 // CDNFetches runs (or returns) the five-provider CDN campaign.
 func (r *Runner) CDNFetches() ([]CDNObs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.cdns != nil {
 		return r.cdns, nil
 	}
-	src := rng.New(r.Cfg.Seed).Fork("cdn")
 	providers := []string{"Cloudflare", "Google CDN", "jQuery CDN", "jsDelivr", "Microsoft Ajax"}
-	var out []CDNObs
+	var units []unit[CDNObs]
 	for _, iso := range deviceCountries {
 		d := r.W.Deployments[iso]
 		for _, kind := range kindsFor(d) {
 			for _, prov := range providers {
 				for i := 0; i < r.Cfg.CDNFetchesPerCountry; i++ {
-					s, err := attach(d, kind, src)
-					if err != nil {
-						return nil, err
-					}
-					res, err := measure.CDNFetch(s, prov, src)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, CDNObs{
-						ISO: iso, Kind: kind, Arch: s.Arch,
-						Provider: prov, TotalMs: res.TotalMs, Cache: string(res.Cache),
+					units = append(units, unit[CDNObs]{
+						label: fmt.Sprintf("%s/%s/%s/%d", iso, kind, prov, i),
+						run: func(src *rng.Source) ([]CDNObs, error) {
+							s, err := attach(d, kind, src)
+							if err != nil {
+								return nil, err
+							}
+							res, err := measure.CDNFetch(s, prov, src)
+							if err != nil {
+								return nil, err
+							}
+							return []CDNObs{{
+								ISO: iso, Kind: kind, Arch: s.Arch,
+								Provider: prov, TotalMs: res.TotalMs, Cache: string(res.Cache),
+							}}, nil
+						},
 					})
 				}
 			}
 		}
+	}
+	out, err := runUnits(rng.New(r.Cfg.Seed).Fork("cdn"), r.Cfg.workers(), units)
+	if err != nil {
+		return nil, err
 	}
 	r.cdns = out
 	return out, nil
@@ -278,32 +326,42 @@ func (r *Runner) CDNFetches() ([]CDNObs, error) {
 
 // DNSLookups runs (or returns) the resolver campaign.
 func (r *Runner) DNSLookups() ([]DNSObs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.dnses != nil {
 		return r.dnses, nil
 	}
-	src := rng.New(r.Cfg.Seed).Fork("dns")
-	var out []DNSObs
+	var units []unit[DNSObs]
 	for _, iso := range deviceCountries {
 		d := r.W.Deployments[iso]
 		for _, kind := range kindsFor(d) {
 			for i := 0; i < r.Cfg.DNSPerCountry; i++ {
-				s, err := attach(d, kind, src)
-				if err != nil {
-					return nil, err
-				}
-				res, err := measure.DNSLookup(s, src)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, DNSObs{
-					ISO: iso, Kind: kind, Arch: s.Arch,
-					DurationMs: res.DurationMs, DoH: res.DoH,
-					ResolverASN:     uint32(res.Resolver.ASN),
-					ResolverCountry: res.Resolver.Country,
-					PGWCountry:      s.Site.Country,
+				units = append(units, unit[DNSObs]{
+					label: fmt.Sprintf("%s/%s/%d", iso, kind, i),
+					run: func(src *rng.Source) ([]DNSObs, error) {
+						s, err := attach(d, kind, src)
+						if err != nil {
+							return nil, err
+						}
+						res, err := measure.DNSLookup(s, src)
+						if err != nil {
+							return nil, err
+						}
+						return []DNSObs{{
+							ISO: iso, Kind: kind, Arch: s.Arch,
+							DurationMs: res.DurationMs, DoH: res.DoH,
+							ResolverASN:     uint32(res.Resolver.ASN),
+							ResolverCountry: res.Resolver.Country,
+							PGWCountry:      s.Site.Country,
+						}}, nil
+					},
 				})
 			}
 		}
+	}
+	out, err := runUnits(rng.New(r.Cfg.Seed).Fork("dns"), r.Cfg.workers(), units)
+	if err != nil {
+		return nil, err
 	}
 	r.dnses = out
 	return out, nil
@@ -312,11 +370,12 @@ func (r *Runner) DNSLookups() ([]DNSObs, error) {
 // Videos runs (or returns) the YouTube campaign. Spain and the UK are
 // excluded as in the paper (insufficient samples there).
 func (r *Runner) Videos() ([]VideoObs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.videos != nil {
 		return r.videos, nil
 	}
-	src := rng.New(r.Cfg.Seed).Fork("video")
-	var out []VideoObs
+	var units []unit[VideoObs]
 	for _, iso := range deviceCountries {
 		if iso == "ESP" || iso == "GBR" {
 			continue
@@ -324,24 +383,33 @@ func (r *Runner) Videos() ([]VideoObs, error) {
 		d := r.W.Deployments[iso]
 		for _, kind := range kindsFor(d) {
 			for i := 0; i < r.Cfg.VideosPerCountry; i++ {
-				s, err := attach(d, kind, src)
-				if err != nil {
-					return nil, err
-				}
-				st, err := measure.StreamVideo(s, video.Config{DurationSec: 120}, src)
-				if err != nil {
-					return nil, err
-				}
-				shares := map[string]float64{}
-				for name := range st.SecondsAt {
-					shares[name] = st.Share(name)
-				}
-				out = append(out, VideoObs{
-					ISO: iso, Kind: kind, Arch: s.Arch,
-					Dominant: st.DominantResolution, Shares: shares,
+				units = append(units, unit[VideoObs]{
+					label: fmt.Sprintf("%s/%s/%d", iso, kind, i),
+					run: func(src *rng.Source) ([]VideoObs, error) {
+						s, err := attach(d, kind, src)
+						if err != nil {
+							return nil, err
+						}
+						st, err := measure.StreamVideo(s, video.Config{DurationSec: 120}, src)
+						if err != nil {
+							return nil, err
+						}
+						shares := map[string]float64{}
+						for name := range st.SecondsAt {
+							shares[name] = st.Share(name)
+						}
+						return []VideoObs{{
+							ISO: iso, Kind: kind, Arch: s.Arch,
+							Dominant: st.DominantResolution, Shares: shares,
+						}}, nil
+					},
 				})
 			}
 		}
+	}
+	out, err := runUnits(rng.New(r.Cfg.Seed).Fork("video"), r.Cfg.workers(), units)
+	if err != nil {
+		return nil, err
 	}
 	r.videos = out
 	return out, nil

@@ -216,15 +216,29 @@ func (r *Runner) Figure13() (*Figure13Result, error) {
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	src := rng.New(r.Cfg.Seed).Fork("fig13web")
-	for _, iso := range r.W.DeploymentKeys(true, false) {
-		vol := &webcampaign.Volunteer{
+	// One volunteer per country, streams pre-forked in canonical order,
+	// executed on the worker pool; the server's per-country stats are
+	// insensitive to upload order.
+	isos := r.W.DeploymentKeys(true, false)
+	vols := make([]*webcampaign.Volunteer, len(isos))
+	for i, iso := range isos {
+		vols[i] = &webcampaign.Volunteer{
 			Name: "v-" + iso, BaseURL: hs.URL,
 			Dep: r.W.Deployments[iso], Src: src.Fork(iso),
 		}
-		for i := 0; i < r.Cfg.WebMeasurements; i++ {
-			if err := vol.RunMeasurement(); err != nil {
-				return nil, err
+	}
+	volErrs := make([]error, len(vols))
+	runParallel(r.Cfg.workers(), len(vols), func(i int) {
+		for m := 0; m < r.Cfg.WebMeasurements; m++ {
+			if err := vols[i].RunMeasurement(); err != nil {
+				volErrs[i] = err
+				return
 			}
+		}
+	})
+	for _, err := range volErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	byCountry := map[string][]float64{}

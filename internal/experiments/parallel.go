@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"roamsim/internal/rng"
+)
+
+// unit is one independently executable slice of a measurement campaign —
+// in the paper's terms one (country, SIM kind, target/provider, rep)
+// tuple. Units carry a descriptive label used to fork their private
+// random stream, so a unit's observations depend only on the campaign
+// seed and its position in the canonical enumeration order, never on
+// which worker ran it or when.
+type unit[T any] struct {
+	label string
+	run   func(src *rng.Source) ([]T, error)
+}
+
+// workers resolves the configured pool size: Workers if positive,
+// otherwise GOMAXPROCS at call time.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runUnits executes campaign units on a bounded worker pool and returns
+// the concatenated results in canonical unit order.
+//
+// Determinism contract: every unit's rng.Source is pre-forked serially,
+// in enumeration order, BEFORE any goroutine starts (Fork consumes a
+// parent draw, so fork order is part of the stream identity — see the
+// internal/rng package doc). Workers then claim unit indices from an
+// atomic counter and write into a per-unit slot, and the final merge
+// walks slots in order. The result is byte-identical for any worker
+// count and any GOMAXPROCS, including workers == 1.
+//
+// If any unit fails, the error of the earliest failing unit (in
+// canonical order) is returned and results are discarded.
+func runUnits[T any](parent *rng.Source, workers int, units []unit[T]) ([]T, error) {
+	srcs := make([]*rng.Source, len(units))
+	for i := range units {
+		srcs[i] = parent.Fork(units[i].label)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]T, len(units))
+	errs := make([]error, len(units))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				results[i], errs[i] = units[i].run(srcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]T, 0, len(units))
+	for i := range units {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+// runParallel executes n index-addressed jobs on a bounded worker pool.
+// It is the side-effect twin of runUnits, for work whose results flow
+// through an order-insensitive sink (e.g. the web campaign's collection
+// server, which tallies counts). The caller must pre-fork any random
+// streams the jobs consume before calling.
+func runParallel(workers, n int, job func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

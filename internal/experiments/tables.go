@@ -104,6 +104,15 @@ func (r *Runner) Table3() (*report.Table, error) {
 	// had two volunteers on non-overlapping dates).
 	volunteers := map[string]int{"FRA": 2}
 	attempted := map[string]int{}
+	// Enumerate volunteers serially — forking each volunteer's stream and
+	// pre-drawing its Wi-Fi flags in canonical order — then run them on
+	// the worker pool. The server tallies counts, which are insensitive
+	// to upload order, so the table is identical for any worker count.
+	type volJob struct {
+		vol    *webcampaign.Volunteer
+		onWiFi []bool
+	}
+	var jobs []volJob
 	for _, iso := range r.W.DeploymentKeys(true, false) {
 		nVol := volunteers[iso]
 		if nVol == 0 {
@@ -114,15 +123,22 @@ func (r *Runner) Table3() (*report.Table, error) {
 				Name: fmt.Sprintf("vol-%s-%d", iso, v), BaseURL: hs.URL,
 				Dep: r.W.Deployments[iso], Src: src.Fork(iso + fmt.Sprint(v)),
 			}
-			for i := 0; i < r.Cfg.WebMeasurements; i++ {
+			flags := make([]bool, r.Cfg.WebMeasurements)
+			for i := range flags {
 				attempted[iso]++
 				// Volunteers occasionally measure from Wi-Fi; the vision
 				// check rejects those uploads.
-				vol.OnWiFi = src.Bool(0.12)
-				_ = vol.RunMeasurement() // rejected attempts simply don't count
+				flags[i] = src.Bool(0.12)
 			}
+			jobs = append(jobs, volJob{vol: vol, onWiFi: flags})
 		}
 	}
+	runParallel(r.Cfg.workers(), len(jobs), func(j int) {
+		for _, w := range jobs[j].onWiFi {
+			jobs[j].vol.OnWiFi = w
+			_ = jobs[j].vol.RunMeasurement() // rejected attempts simply don't count
+		}
+	})
 	completed := srv.CompletedByCountry()
 
 	t := &report.Table{

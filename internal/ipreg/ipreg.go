@@ -123,6 +123,17 @@ func (r *Registry) Lookup(a ipaddr.Addr) (Info, bool) {
 	if a.IsPrivate() {
 		return Info{}, false
 	}
+	// Fast path: once the prefix table is sorted, lookups only need a
+	// read lock, so concurrent campaign workers demarcating traceroutes
+	// do not serialize here.
+	r.mu.RLock()
+	if r.sorted {
+		info, ok := r.lookupLocked(a)
+		r.mu.RUnlock()
+		return info, ok
+	}
+	r.mu.RUnlock()
+
 	r.mu.Lock()
 	if !r.sorted {
 		sort.Slice(r.prefixes, func(i, j int) bool {
@@ -133,9 +144,16 @@ func (r *Registry) Lookup(a ipaddr.Addr) (Info, bool) {
 		})
 		r.sorted = true
 	}
+	info, ok := r.lookupLocked(a)
+	r.mu.Unlock()
+	return info, ok
+}
+
+// lookupLocked resolves against the sorted table. Callers hold r.mu
+// (read or write).
+func (r *Registry) lookupLocked(a ipaddr.Addr) (Info, bool) {
 	prefixes := r.prefixes
 	ases := r.ases
-	r.mu.Unlock()
 
 	// Binary search for the last prefix whose base is <= a, then scan
 	// backwards for the longest containing prefix. Containing prefixes

@@ -12,18 +12,21 @@ type LoadModel func() float64
 
 // SetLoadModel installs (or clears, with nil) the global load model.
 // It affects RTT sampling and speedtests but NOT routing, which models
-// the stable propagation floor.
+// the stable propagation floor. Unlike topology mutations it is allowed
+// after Freeze — load is a measurement-time confounder, not topology —
+// but swapping models while measurements run in other goroutines is the
+// caller's race to avoid.
 func (n *Network) SetLoadModel(m LoadModel) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.loadMu.Lock()
+	defer n.loadMu.Unlock()
 	n.load = m
 }
 
 // loadFactor samples the current load (0 when unset).
 func (n *Network) loadFactor() float64 {
-	n.mu.Lock()
+	n.loadMu.RLock()
 	m := n.load
-	n.mu.Unlock()
+	n.loadMu.RUnlock()
 	if m == nil {
 		return 0
 	}

@@ -17,19 +17,30 @@
 //     which is exactly the signal the tomography demarcation step uses.
 //
 // Routing is shortest-delay (Dijkstra) with deterministic tie-breaking,
-// computed on demand and cached.
+// computed on demand and cached; see routing.go.
+//
+// # Build phase vs. query phase
+//
+// A Network has two phases. During the build phase a single goroutine
+// adds nodes and links (AddNode, Connect, SetTransitAS). Calling Freeze
+// ends the build phase; from then on any topology mutation panics, and
+// every query (Route, RTTms, Node, Traceroute, ...) is safe for
+// unbounded concurrent use. Queries use read locks plus a sharded route
+// cache, so concurrent readers do not serialize on a single mutex.
+// SetLoadModel is the one deliberate exception: the load model is a
+// measurement-time confounder, not topology, and may be swapped after
+// Freeze (it has its own lock).
 package netsim
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"roamsim/internal/geo"
 	"roamsim/internal/ipaddr"
 	"roamsim/internal/ipreg"
-	"roamsim/internal/rng"
 )
 
 // NodeID identifies a node within one Network.
@@ -91,13 +102,14 @@ type Link struct {
 // TotalDelayMs returns the effective one-way delay used for routing.
 func (l Link) TotalDelayMs() float64 { return l.DelayMs + l.PeeringPenaltyMs }
 
-// Network is a mutable topology. Construction is not concurrency-safe;
-// evaluation (routing, measurements) is safe for concurrent readers once
-// construction has finished.
+// Network is a two-phase topology: mutable while building, immutable
+// (and safe for unbounded concurrent queries) after Freeze. See the
+// package doc for the phase contract.
 type Network struct {
-	mu    sync.Mutex
-	nodes []Node
-	adj   map[NodeID][]edgeRef
+	mu     sync.RWMutex
+	frozen atomic.Bool
+	nodes  []Node
+	adj    [][]edgeRef // indexed by NodeID
 
 	// transitAS marks ASes allowed to carry traffic between two other
 	// networks. All other (stub) ASes — content providers, PGW hosts —
@@ -105,19 +117,13 @@ type Network struct {
 	// constraint real BGP policy enforces.
 	transitAS map[ipreg.ASN]bool
 
-	// load is the optional utilization model (see SetLoadModel).
-	load LoadModel
+	// load is the optional utilization model (see SetLoadModel). It has
+	// its own lock because it may be swapped after Freeze and is read on
+	// every RTT/throughput sample.
+	loadMu sync.RWMutex
+	load   LoadModel
 
-	routeCache map[[2]NodeID]*Path
-}
-
-// SetTransitAS marks an AS as transit-capable. Unlisted non-zero ASes
-// are stubs; nodes with ASN 0 (private infrastructure) are unrestricted.
-func (n *Network) SetTransitAS(asn ipreg.ASN) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.transitAS[asn] = true
-	n.routeCache = make(map[[2]NodeID]*Path)
+	routes routeTable
 }
 
 type edgeRef struct {
@@ -125,19 +131,43 @@ type edgeRef struct {
 	link Link
 }
 
-// New returns an empty network.
+// New returns an empty network in the build phase.
 func New() *Network {
-	return &Network{
-		adj:        make(map[NodeID][]edgeRef),
-		transitAS:  make(map[ipreg.ASN]bool),
-		routeCache: make(map[[2]NodeID]*Path),
+	n := &Network{transitAS: make(map[ipreg.ASN]bool)}
+	n.routes.init()
+	return n
+}
+
+// Freeze ends the build phase. After Freeze every topology mutation
+// (AddNode, Connect, SetTransitAS) panics, and all queries are safe for
+// concurrent use without external synchronization. Freeze is idempotent.
+func (n *Network) Freeze() { n.frozen.Store(true) }
+
+// Frozen reports whether the build phase has ended.
+func (n *Network) Frozen() bool { return n.frozen.Load() }
+
+func (n *Network) mutable(op string) {
+	if n.frozen.Load() {
+		panic("netsim: " + op + " after Freeze")
 	}
+}
+
+// SetTransitAS marks an AS as transit-capable. Unlisted non-zero ASes
+// are stubs; nodes with ASN 0 (private infrastructure) are unrestricted.
+// Build phase only.
+func (n *Network) SetTransitAS(asn ipreg.ASN) {
+	n.mutable("SetTransitAS")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.transitAS[asn] = true
+	n.routes.invalidate()
 }
 
 // AddNode inserts a node and returns its ID. The ID field of the argument
 // is ignored and assigned by the network. Nodes default to answering ICMP
-// (probability 1) and a 0.15 ms processing delay if unset.
+// (probability 1) and a 0.15 ms processing delay if unset. Build phase only.
 func (n *Network) AddNode(node Node) NodeID {
+	n.mutable("AddNode")
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	node.ID = NodeID(len(n.nodes))
@@ -150,13 +180,14 @@ func (n *Network) AddNode(node Node) NodeID {
 		node.ProcDelayMs = 0.15
 	}
 	n.nodes = append(n.nodes, node)
+	n.adj = append(n.adj, nil)
 	return node.ID
 }
 
 // Node returns the node with the given ID.
 func (n *Network) Node(id NodeID) Node {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(n.nodes) {
 		panic(fmt.Sprintf("netsim: unknown node %d", id))
 	}
@@ -165,16 +196,17 @@ func (n *Network) Node(id NodeID) Node {
 
 // NumNodes returns the number of nodes.
 func (n *Network) NumNodes() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return len(n.nodes)
 }
 
 // Connect adds an undirected link. If link.DelayMs is zero it is derived
 // from the great-circle distance between the endpoints (plus a small
 // last-metre floor so co-located nodes still cost something). If
-// BandwidthMbps is zero a 10 Gbps default is used.
+// BandwidthMbps is zero a 10 Gbps default is used. Build phase only.
 func (n *Network) Connect(a, b NodeID, link Link) {
+	n.mutable("Connect")
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if a == b {
@@ -196,179 +228,23 @@ func (n *Network) Connect(a, b NodeID, link Link) {
 	n.adj[a] = append(n.adj[a], edgeRef{to: b, link: link})
 	n.adj[b] = append(n.adj[b], edgeRef{to: a, link: link})
 	// Topology changed: routes computed so far may be stale.
-	n.routeCache = make(map[[2]NodeID]*Path)
+	n.routes.invalidate()
 }
 
 // Degree returns the number of links attached to a node.
 func (n *Network) Degree(id NodeID) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.adj[id])
-}
-
-// Path is a routed path: the node sequence and the traversed links
-// (len(Links) == len(Nodes)-1).
-type Path struct {
-	Nodes []Node
-	Links []Link
-}
-
-// BaseOneWayMs returns the deterministic one-way delay of the path:
-// link delays + peering penalties + per-node processing.
-func (p *Path) BaseOneWayMs() float64 {
-	var d float64
-	for _, l := range p.Links {
-		d += l.TotalDelayMs()
-	}
-	for _, node := range p.Nodes {
-		d += node.ProcDelayMs
-	}
-	return d
-}
-
-// BottleneckMbps returns the minimum link bandwidth along the path.
-func (p *Path) BottleneckMbps() float64 {
-	min := math.Inf(1)
-	for _, l := range p.Links {
-		if l.BandwidthMbps < min {
-			min = l.BandwidthMbps
-		}
-	}
-	if math.IsInf(min, 1) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(n.adj) {
 		return 0
 	}
-	return min
-}
-
-// LossProb returns the end-to-end packet loss probability.
-func (p *Path) LossProb() float64 {
-	keep := 1.0
-	for _, l := range p.Links {
-		keep *= 1 - l.LossProb
-	}
-	return 1 - keep
-}
-
-// Hops returns the number of forwarding hops (nodes after the source).
-func (p *Path) Hops() int { return len(p.Nodes) - 1 }
-
-// Route computes the shortest-delay path from src to dst. Ties are broken
-// by preferring fewer hops, then lower node IDs, so routing is fully
-// deterministic. Routes are cached.
-func (n *Network) Route(src, dst NodeID) (*Path, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.routeLocked(src, dst)
-}
-
-func (n *Network) routeLocked(src, dst NodeID) (*Path, error) {
-	if p, ok := n.routeCache[[2]NodeID{src, dst}]; ok {
-		return p, nil
-	}
-	if int(src) >= len(n.nodes) || int(dst) >= len(n.nodes) || src < 0 || dst < 0 {
-		return nil, fmt.Errorf("netsim: bad route endpoints %d -> %d", src, dst)
-	}
-	type state struct {
-		cost float64
-		hops int
-		prev NodeID
-		via  Link
-		done bool
-		seen bool
-	}
-	states := make([]state, len(n.nodes))
-	states[src] = state{seen: true, prev: -1}
-	// Simple O(V²) Dijkstra: topologies here are a few thousand nodes.
-	for {
-		// Pick the unfinished node with the smallest (cost, hops, id).
-		best := NodeID(-1)
-		for id := range states {
-			s := &states[id]
-			if !s.seen || s.done {
-				continue
-			}
-			if best < 0 {
-				best = NodeID(id)
-				continue
-			}
-			b := &states[best]
-			if s.cost < b.cost || (s.cost == b.cost && (s.hops < b.hops || (s.hops == b.hops && NodeID(id) < best))) {
-				best = NodeID(id)
-			}
-		}
-		if best < 0 {
-			break
-		}
-		if best == dst {
-			break
-		}
-		states[best].done = true
-		// Valley-free constraint: a stub AS may not be crossed. If best
-		// was entered from a different AS, it may only forward within its
-		// own AS. The source node and ASN-0 nodes are unrestricted.
-		uASN := n.nodes[best].ASN
-		restricted := false
-		if uASN != 0 && !n.transitAS[uASN] && best != src {
-			prevASN := n.nodes[states[best].prev].ASN
-			restricted = prevASN != uASN
-		}
-		for _, e := range n.adj[best] {
-			if restricted && n.nodes[e.to].ASN != uASN {
-				continue
-			}
-			c := states[best].cost + e.link.TotalDelayMs() + n.nodes[e.to].ProcDelayMs
-			h := states[best].hops + 1
-			s := &states[e.to]
-			if !s.seen || c < s.cost || (c == s.cost && h < s.hops) {
-				*s = state{cost: c, hops: h, prev: best, via: e.link, seen: true}
-			}
-		}
-	}
-	if !states[dst].seen {
-		return nil, fmt.Errorf("netsim: no route %s -> %s", n.nodes[src].Name, n.nodes[dst].Name)
-	}
-	// Reconstruct.
-	var revNodes []Node
-	var revLinks []Link
-	at := dst
-	for at != src {
-		revNodes = append(revNodes, n.nodes[at])
-		revLinks = append(revLinks, states[at].via)
-		at = states[at].prev
-	}
-	revNodes = append(revNodes, n.nodes[src])
-	p := &Path{
-		Nodes: make([]Node, 0, len(revNodes)),
-		Links: make([]Link, 0, len(revLinks)),
-	}
-	for i := len(revNodes) - 1; i >= 0; i-- {
-		p.Nodes = append(p.Nodes, revNodes[i])
-	}
-	for i := len(revLinks) - 1; i >= 0; i-- {
-		p.Links = append(p.Links, revLinks[i])
-	}
-	n.routeCache[[2]NodeID{src, dst}] = p
-	return p, nil
-}
-
-// RTTms samples a round-trip time over the path: twice the one-way delay
-// with per-link jitter applied, inflated by the current load model's
-// queueing term.
-func (n *Network) RTTms(p *Path, src *rng.Source) float64 {
-	var d float64
-	for _, l := range p.Links {
-		d += src.Jitter(l.TotalDelayMs(), l.JitterFrac)
-	}
-	for _, node := range p.Nodes {
-		d += src.Jitter(node.ProcDelayMs, 0.3)
-	}
-	return 2 * d * queueInflation(n.loadFactor())
+	return len(n.adj[id])
 }
 
 // NodesByKind returns the IDs of all nodes of the given kind, sorted.
 func (n *Network) NodesByKind(kind NodeKind) []NodeID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var out []NodeID
 	for _, node := range n.nodes {
 		if node.Kind == kind {
@@ -381,43 +257,12 @@ func (n *Network) NodesByKind(kind NodeKind) []NodeID {
 
 // FindNode returns the first node with the given name.
 func (n *Network) FindNode(name string) (Node, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	for _, node := range n.nodes {
 		if node.Name == name {
 			return node, true
 		}
 	}
 	return Node{}, false
-}
-
-// ConcatPaths joins consecutive path segments into one path. Each
-// segment must start at the node the previous segment ended at. It is
-// how sessions compose their pinned private leg (UE → assigned PGW) with
-// the routed public leg (PGW → target), mirroring the fact that tunneled
-// traffic cannot pick its breakout.
-func ConcatPaths(segments ...*Path) (*Path, error) {
-	var out *Path
-	for _, seg := range segments {
-		if seg == nil || len(seg.Nodes) == 0 {
-			return nil, fmt.Errorf("netsim: empty path segment")
-		}
-		if out == nil {
-			out = &Path{
-				Nodes: append([]Node(nil), seg.Nodes...),
-				Links: append([]Link(nil), seg.Links...),
-			}
-			continue
-		}
-		if out.Nodes[len(out.Nodes)-1].ID != seg.Nodes[0].ID {
-			return nil, fmt.Errorf("netsim: discontiguous segments (%s -> %s)",
-				out.Nodes[len(out.Nodes)-1].Name, seg.Nodes[0].Name)
-		}
-		out.Nodes = append(out.Nodes, seg.Nodes[1:]...)
-		out.Links = append(out.Links, seg.Links...)
-	}
-	if out == nil {
-		return nil, fmt.Errorf("netsim: no segments")
-	}
-	return out, nil
 }

@@ -1,0 +1,330 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"roamsim/internal/rng"
+)
+
+// Path is a routed path: the node sequence and the traversed links
+// (len(Links) == len(Nodes)-1).
+type Path struct {
+	Nodes []Node
+	Links []Link
+}
+
+// BaseOneWayMs returns the deterministic one-way delay of the path:
+// link delays + peering penalties + per-node processing.
+func (p *Path) BaseOneWayMs() float64 {
+	var d float64
+	for _, l := range p.Links {
+		d += l.TotalDelayMs()
+	}
+	for _, node := range p.Nodes {
+		d += node.ProcDelayMs
+	}
+	return d
+}
+
+// BottleneckMbps returns the minimum link bandwidth along the path.
+func (p *Path) BottleneckMbps() float64 {
+	min := math.Inf(1)
+	for _, l := range p.Links {
+		if l.BandwidthMbps < min {
+			min = l.BandwidthMbps
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// LossProb returns the end-to-end packet loss probability.
+func (p *Path) LossProb() float64 {
+	keep := 1.0
+	for _, l := range p.Links {
+		keep *= 1 - l.LossProb
+	}
+	return 1 - keep
+}
+
+// Hops returns the number of forwarding hops (nodes after the source).
+func (p *Path) Hops() int { return len(p.Nodes) - 1 }
+
+// routeShards is the number of route-cache shards. Shard count trades
+// memory for contention: with the campaign worker pool bounded by
+// GOMAXPROCS, 64 shards keep the probability of two workers hitting the
+// same shard lock low while staying cheap to invalidate during builds.
+const routeShards = 64
+
+// routeTable is the concurrent route cache: a sharded read-mostly map
+// for the hit fast path plus a single-flight registry so a route missing
+// from the cache is computed exactly once no matter how many goroutines
+// ask for it simultaneously.
+type routeTable struct {
+	shards [routeShards]routeShard
+
+	flightMu sync.Mutex
+	flight   map[[2]NodeID]*routeFlight
+}
+
+type routeShard struct {
+	mu sync.RWMutex
+	m  map[[2]NodeID]*Path
+}
+
+type routeFlight struct {
+	done chan struct{}
+	p    *Path
+	err  error
+}
+
+func (t *routeTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[[2]NodeID]*Path)
+	}
+	t.flight = make(map[[2]NodeID]*routeFlight)
+}
+
+// invalidate drops every cached route. Build phase only (callers hold
+// the topology write lock; concurrent queries are excluded).
+func (t *routeTable) invalidate() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[[2]NodeID]*Path)
+		sh.mu.Unlock()
+	}
+}
+
+func shardOf(key [2]NodeID) uint64 {
+	// Fibonacci-style mix of both endpoints so (src, dst) and (dst, src)
+	// land on different shards and sequential IDs spread out.
+	h := uint64(key[0])*0x9E3779B97F4A7C15 + uint64(key[1])*0xC2B2AE3D27D4EB4F
+	return (h >> 32) % routeShards
+}
+
+// Route computes the shortest-delay path from src to dst. Ties are broken
+// by preferring fewer hops, then lower node IDs, so routing is fully
+// deterministic. Routes are cached: repeated queries return the same
+// *Path pointer. Concurrent callers are safe; a cache hit takes only a
+// shard read-lock, and concurrent misses for the same pair share one
+// Dijkstra run (single-flight).
+func (n *Network) Route(src, dst NodeID) (*Path, error) {
+	key := [2]NodeID{src, dst}
+	sh := &n.routes.shards[shardOf(key)]
+	sh.mu.RLock()
+	p, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	return n.routes.compute(key, sh, func() (*Path, error) {
+		n.mu.RLock()
+		defer n.mu.RUnlock()
+		return n.dijkstra(src, dst)
+	})
+}
+
+// compute runs fn for key exactly once across concurrent callers and
+// caches a successful result in sh. Errors are not cached (they indicate
+// bad endpoints or unreachable pairs, both rare and cheap to rediscover).
+func (t *routeTable) compute(key [2]NodeID, sh *routeShard, fn func() (*Path, error)) (*Path, error) {
+	t.flightMu.Lock()
+	// Re-check the cache under flightMu: a concurrent flight may have
+	// completed between our shard read and here.
+	sh.mu.RLock()
+	if p, ok := sh.m[key]; ok {
+		sh.mu.RUnlock()
+		t.flightMu.Unlock()
+		return p, nil
+	}
+	sh.mu.RUnlock()
+	if f, ok := t.flight[key]; ok {
+		t.flightMu.Unlock()
+		<-f.done
+		return f.p, f.err
+	}
+	f := &routeFlight{done: make(chan struct{})}
+	t.flight[key] = f
+	t.flightMu.Unlock()
+
+	f.p, f.err = fn()
+	if f.err == nil {
+		sh.mu.Lock()
+		sh.m[key] = f.p
+		sh.mu.Unlock()
+	}
+	close(f.done)
+
+	t.flightMu.Lock()
+	delete(t.flight, key)
+	t.flightMu.Unlock()
+	return f.p, f.err
+}
+
+// pqItem is one pending heap entry. Entries are immutable; when a node's
+// tentative cost improves a fresh entry is pushed and the old one goes
+// stale (lazy deletion).
+type pqItem struct {
+	cost float64
+	hops int
+	id   NodeID
+}
+
+// routePQ orders by (cost, hops, id) — exactly the pick order of the
+// former O(V²) linear min-scan, so the heap implementation settles nodes
+// in the same sequence and produces identical paths.
+type routePQ []pqItem
+
+func (q routePQ) Len() int { return len(q) }
+func (q routePQ) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.hops != b.hops {
+		return a.hops < b.hops
+	}
+	return a.id < b.id
+}
+func (q routePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *routePQ) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *routePQ) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+type routeState struct {
+	cost float64
+	hops int
+	prev NodeID
+	via  Link
+	done bool
+	seen bool
+}
+
+// dijkstra is the heap-based shortest-path core, O(E log V). Callers
+// must hold at least a read lock on n.mu. Determinism: the (cost, hops,
+// id) heap order is total, tentative states only ever strictly improve
+// (so stale entries never compare equal to live ones), and all edge
+// costs are strictly positive (DelayMs ≥ 0.05, ProcDelayMs ≥ 0.15), so
+// settled nodes never reopen — the settle order matches the linear scan.
+func (n *Network) dijkstra(src, dst NodeID) (*Path, error) {
+	if int(src) >= len(n.nodes) || int(dst) >= len(n.nodes) || src < 0 || dst < 0 {
+		return nil, fmt.Errorf("netsim: bad route endpoints %d -> %d", src, dst)
+	}
+	states := make([]routeState, len(n.nodes))
+	states[src] = routeState{seen: true, prev: -1}
+	pq := routePQ{{cost: 0, hops: 0, id: src}}
+	heap.Init(&pq)
+	for len(pq) > 0 {
+		it := heap.Pop(&pq).(pqItem)
+		s := &states[it.id]
+		if s.done || it.cost != s.cost || it.hops != s.hops {
+			continue // stale entry: this node was improved or settled already
+		}
+		best := it.id
+		if best == dst {
+			break
+		}
+		s.done = true
+		// Valley-free constraint: a stub AS may not be crossed. If best
+		// was entered from a different AS, it may only forward within its
+		// own AS. The source node and ASN-0 nodes are unrestricted.
+		uASN := n.nodes[best].ASN
+		restricted := false
+		if uASN != 0 && !n.transitAS[uASN] && best != src {
+			prevASN := n.nodes[s.prev].ASN
+			restricted = prevASN != uASN
+		}
+		for _, e := range n.adj[best] {
+			if restricted && n.nodes[e.to].ASN != uASN {
+				continue
+			}
+			c := s.cost + e.link.TotalDelayMs() + n.nodes[e.to].ProcDelayMs
+			h := s.hops + 1
+			t := &states[e.to]
+			if !t.seen || c < t.cost || (c == t.cost && h < t.hops) {
+				*t = routeState{cost: c, hops: h, prev: best, via: e.link, seen: true}
+				heap.Push(&pq, pqItem{cost: c, hops: h, id: e.to})
+			}
+		}
+	}
+	if !states[dst].seen {
+		return nil, fmt.Errorf("netsim: no route %s -> %s", n.nodes[src].Name, n.nodes[dst].Name)
+	}
+	// Reconstruct.
+	var revNodes []Node
+	var revLinks []Link
+	at := dst
+	for at != src {
+		revNodes = append(revNodes, n.nodes[at])
+		revLinks = append(revLinks, states[at].via)
+		at = states[at].prev
+	}
+	revNodes = append(revNodes, n.nodes[src])
+	p := &Path{
+		Nodes: make([]Node, 0, len(revNodes)),
+		Links: make([]Link, 0, len(revLinks)),
+	}
+	for i := len(revNodes) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, revNodes[i])
+	}
+	for i := len(revLinks) - 1; i >= 0; i-- {
+		p.Links = append(p.Links, revLinks[i])
+	}
+	return p, nil
+}
+
+// RTTms samples a round-trip time over the path: twice the one-way delay
+// with per-link jitter applied, inflated by the current load model's
+// queueing term. Safe for concurrent use given a per-goroutine Source.
+func (n *Network) RTTms(p *Path, src *rng.Source) float64 {
+	var d float64
+	for _, l := range p.Links {
+		d += src.Jitter(l.TotalDelayMs(), l.JitterFrac)
+	}
+	for _, node := range p.Nodes {
+		d += src.Jitter(node.ProcDelayMs, 0.3)
+	}
+	return 2 * d * queueInflation(n.loadFactor())
+}
+
+// ConcatPaths joins consecutive path segments into one path. Each
+// segment must start at the node the previous segment ended at. It is
+// how sessions compose their pinned private leg (UE → assigned PGW) with
+// the routed public leg (PGW → target), mirroring the fact that tunneled
+// traffic cannot pick its breakout.
+func ConcatPaths(segments ...*Path) (*Path, error) {
+	var out *Path
+	for _, seg := range segments {
+		if seg == nil || len(seg.Nodes) == 0 {
+			return nil, fmt.Errorf("netsim: empty path segment")
+		}
+		if out == nil {
+			out = &Path{
+				Nodes: append([]Node(nil), seg.Nodes...),
+				Links: append([]Link(nil), seg.Links...),
+			}
+			continue
+		}
+		if out.Nodes[len(out.Nodes)-1].ID != seg.Nodes[0].ID {
+			return nil, fmt.Errorf("netsim: discontiguous segments (%s -> %s)",
+				out.Nodes[len(out.Nodes)-1].Name, seg.Nodes[0].Name)
+		}
+		out.Nodes = append(out.Nodes, seg.Nodes[1:]...)
+		out.Links = append(out.Links, seg.Links...)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("netsim: no segments")
+	}
+	return out, nil
+}

@@ -8,12 +8,31 @@
 // an independent stream whose values do not shift when unrelated parts of
 // the simulation add or remove draws. This "named stream" discipline is
 // what keeps figures stable as the codebase evolves.
+//
+// # Concurrency: pre-fork, then spawn
+//
+// A Source is NOT safe for concurrent use, and Fork itself consumes one
+// draw from the parent, so the fork ORDER is part of the deterministic
+// contract. Parallel code must therefore fork every worker's stream
+// serially, in a canonical order, BEFORE spawning any goroutine, then
+// hand exactly one child to each goroutine:
+//
+//	srcs := parent.ForkN("campaign", len(units)) // serial, canonical order
+//	for i := range units {
+//	    go func(i int) { units[i].Run(srcs[i]) }(i)
+//	}
+//
+// Because each unit's stream is fixed before any goroutine starts, the
+// results are independent of scheduling and of GOMAXPROCS. This is the
+// scheme the parallel campaign engine in internal/experiments uses (with
+// descriptive per-unit labels instead of ForkN indices).
 package rng
 
 import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 )
 
 // Source is a deterministic random stream with distribution helpers.
@@ -28,12 +47,26 @@ func New(seed int64) *Source {
 }
 
 // Fork derives an independent, deterministic child stream identified by
-// label. Forking consumes one draw from the parent.
+// label. Forking consumes one draw from the parent, so the order of Fork
+// calls matters: fork serially in a canonical order before handing
+// children to goroutines (see the package doc).
 func (s *Source) Fork(label string) *Source {
 	h := fnv.New64a()
 	h.Write([]byte(label))
 	mix := int64(h.Sum64()) ^ s.r.Int63()
 	return New(mix)
+}
+
+// ForkN pre-forks n children labeled "label/0" … "label/n-1" in one
+// deterministic pass. It is the worker-pool helper: call it before
+// spawning goroutines and give child i to worker i, so parallel results
+// are independent of scheduling and GOMAXPROCS.
+func (s *Source) ForkN(label string, n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Fork(label + "/" + strconv.Itoa(i))
+	}
+	return out
 }
 
 // Float64 returns a uniform draw in [0, 1).
