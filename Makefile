@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench
+.PHONY: verify vet build test race bench bench-fleet
 
-## verify: the CI entry point — vet, build, then race-enabled tests.
-verify: vet build race
+## verify: the CI entry point — vet, build, race-enabled tests, then a
+## one-iteration fleet throughput smoke (v1 vs v2 protocol paths).
+verify: vet build race bench-fleet
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +22,8 @@ race:
 ## serial-vs-parallel speedup headline).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## bench-fleet: smoke-run the fleet control-plane throughput benchmark
+## (one iteration, 10k-ME cases skipped via -short).
+bench-fleet:
+	$(GO) test -short -run=^$$ -bench=Fleet -benchtime=1x ./internal/fleet

@@ -1,25 +1,41 @@
 // Command amigo-server runs the AmiGo control server: the REST endpoint
-// measurement endpoints (amigo-me) register with, poll for tasks, and
-// upload results to.
+// measurement endpoints (amigo-me, roam-fleet) register with, lease
+// tasks from, and upload results to. It serves both the v1
+// one-task-per-poll protocol and the v2 batch lease/upload protocol
+// (see internal/amigo for the wire formats).
 //
 // Usage:
 //
 //	amigo-server [-addr :8080]
 //
-// Schedule tasks by POSTing to /admin/schedule:
+// Schedule tasks by POSTing to /admin/schedule, either the legacy
+// single-kind form or a task batch:
 //
 //	curl -X POST localhost:8080/admin/schedule \
 //	  -d '{"me":"me-PAK","kind":"speedtest","config":"esim","count":3}'
+//	curl -X POST localhost:8080/admin/schedule \
+//	  -d '{"me":"me-PAK","tasks":[{"kind":"mtr","target":"Google","config":"sim"}]}'
 //
-// Results are readable at /admin/results.
+// Results are readable incrementally at
+// /admin/results?cursor=N[&limit=M], which returns
+// {"cursor":NEXT,"results":[...]}; poll with the returned cursor to
+// stream only new uploads. cursor=-1 peeks at the current cursor
+// without returning results.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight uploads before exiting.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"roamsim/internal/amigo"
 )
@@ -30,46 +46,38 @@ func main() {
 
 	srv := amigo.NewServer(nil)
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", srv.Handler())
+	h := srv.Handler()
+	mux.Handle("/v1/", h)
+	mux.Handle("/v2/", h)
+	mux.Handle("/admin/", srv.AdminHandler())
 
-	mux.HandleFunc("POST /admin/schedule", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			ME     string `json:"me"`
-			Kind   string `json:"kind"`
-			Target string `json:"target"`
-			Config string `json:"config"`
-			Count  int    `json:"count"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request", http.StatusBadRequest)
-			return
-		}
-		if req.Count <= 0 {
-			req.Count = 1
-		}
-		var ids []int
-		for i := 0; i < req.Count; i++ {
-			id, err := srv.Schedule(req.ME, amigo.Task{
-				Kind: req.Kind, Target: req.Target, Config: req.Config,
-			})
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusNotFound)
-				return
-			}
-			ids = append(ids, id)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"task_ids": ids})
-	})
-	mux.HandleFunc("GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(srv.Results())
-	})
-	mux.HandleFunc("GET /admin/mes", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(srv.MEs())
-	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadTimeout:       15 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("amigo-server listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain in-flight uploads before exiting.
+	fmt.Println("amigo-server: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,158 @@
+// Command roam-fleet runs a fleet-scale AmiGo device campaign over the
+// real HTTP control plane: it expands a campaign plan into per-ME
+// schedules, drives thousands of simulated mobile endpoints through
+// register / batch-lease / execute / batch-upload against an AmiGo
+// control server, ingests the uploaded results and prints the Table 4
+// counts and Figure 11-style RTT aggregates regenerated from the fleet
+// output.
+//
+// By default it self-hosts a control server on a loopback port; point
+// -server at a running amigo-server to drive an external one instead.
+//
+// Usage:
+//
+//	roam-fleet [-server URL] [-mes N] [-countries GEO,DEU,...] [-seed N]
+//	           [-workers N] [-lease K] [-reps N] [-configs sim,esim]
+//	           [-crosscheck]
+//
+// With -crosscheck the same plan is also run serially in-process over
+// the v1 protocol and the two Table 4 / RTT renderings are compared;
+// any mismatch exits nonzero. For a fixed seed the fleet output is
+// byte-identical regardless of -workers or -lease.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"roamsim/internal/airalo"
+	"roamsim/internal/amigo"
+	"roamsim/internal/fleet"
+)
+
+func main() {
+	server := flag.String("server", "", "AmiGo control server base URL (empty = self-host on loopback)")
+	mes := flag.Int("mes", 1000, "total fleet size; split evenly across countries")
+	countries := flag.String("countries", strings.Join(fleet.DeviceCountries, ","), "comma-separated ISO3 country codes")
+	seed := flag.Int64("seed", 42, "campaign seed (same seed = identical dataset)")
+	workers := flag.Int("workers", 0, "ME worker pool size (0 = GOMAXPROCS; output is identical either way)")
+	lease := flag.Int("lease", 32, "max tasks leased per v2 round trip")
+	reps := flag.Int("reps", 1, "repetitions per (tool, config)")
+	configs := flag.String("configs", "sim,esim", "comma-separated SIM configurations")
+	crosscheck := flag.Bool("crosscheck", false, "also run the plan serially in-process and compare outputs")
+	flag.Parse()
+
+	plan := fleet.DeviceCampaignPlan()
+	plan.Countries = splitList(*countries)
+	plan.MEsPerCountry = max(1, *mes/len(plan.Countries))
+	plan.Configs = splitList(*configs)
+	plan.Reps = *reps
+
+	w, err := airalo.Build(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	baseURL := *server
+	if baseURL == "" {
+		url, shutdown, err := selfHost()
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		baseURL = url
+		fmt.Printf("self-hosted control server at %s\n", baseURL)
+	}
+
+	d := &fleet.Driver{
+		BaseURL:     baseURL,
+		Seed:        *seed,
+		Workers:     *workers,
+		LeaseBatch:  *lease,
+		StreamLabel: "table4",
+		Heartbeat:   true,
+	}
+	camp, err := d.Run(w, plan)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := fleet.Ingest(w.Reg, camp)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := camp.Stats
+	perSec := float64(st.Results) / st.Elapsed.Seconds()
+	fmt.Printf("fleet: %d MEs, %d tasks scheduled, %d results in %s (%.0f results/s), %d failures\n\n",
+		st.MEs, st.TasksScheduled, st.Results, st.Elapsed.Round(time.Millisecond), perSec, len(ds.Failures))
+	fmt.Println(fleet.Table4(ds, camp.Plan).String())
+	fmt.Println(fleet.RTTSummary(ds, camp.Plan).String())
+
+	if *crosscheck {
+		inproc, err := fleet.RunInProcess(w, plan, *seed, "table4", true)
+		if err != nil {
+			fatal(err)
+		}
+		ids, err := fleet.Ingest(w.Reg, inproc)
+		if err != nil {
+			fatal(err)
+		}
+		ok := true
+		if got, want := fleet.Table4(ds, plan).String(), fleet.Table4(ids, plan).String(); got != want {
+			ok = false
+			fmt.Fprintf(os.Stderr, "crosscheck: Table 4 mismatch\nfleet:\n%s\nin-process:\n%s\n", got, want)
+		}
+		if got, want := fleet.RTTSummary(ds, plan).String(), fleet.RTTSummary(ids, plan).String(); got != want {
+			ok = false
+			fmt.Fprintf(os.Stderr, "crosscheck: RTT summary mismatch\nfleet:\n%s\nin-process:\n%s\n", got, want)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		fmt.Println("crosscheck: fleet output matches the serial in-process campaign")
+	}
+}
+
+// selfHost starts an AmiGo control server on an ephemeral loopback port
+// and returns its base URL plus a shutdown func.
+func selfHost() (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := amigo.NewServer(nil)
+	mux := http.NewServeMux()
+	h := srv.Handler()
+	mux.Handle("/v1/", h)
+	mux.Handle("/v2/", h)
+	mux.Handle("/admin/", srv.AdminHandler())
+	hs := &http.Server{
+		Handler:           mux,
+		ReadTimeout:       15 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roam-fleet:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,12 @@
 package amigo
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -254,5 +258,374 @@ func TestConcurrentEndpoints(t *testing.T) {
 		if perME["me-"+iso] != tasksPer {
 			t.Errorf("me-%s results = %d", iso, perME["me-"+iso])
 		}
+	}
+}
+
+func TestMENameWithSpacesSurvivesPolling(t *testing.T) {
+	// RunOnce must query-escape the ME name; "vol 7" would otherwise
+	// break the /v1/tasks URL.
+	srv := NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ep := NewEndpoint("me PAK 1", hs.URL, world(t).Deployments["PAK"], rng.New(7))
+	if err := ep.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Schedule("me PAK 1", Task{Kind: "dns", Config: "esim"}); err != nil {
+		t.Fatal(err)
+	}
+	more, err := ep.RunOnce()
+	if err != nil || !more {
+		t.Fatalf("RunOnce = %v, %v", more, err)
+	}
+	rs := srv.Results()
+	if len(rs) != 1 || rs[0].ME != "me PAK 1" || !rs[0].OK {
+		t.Fatalf("results = %+v", rs)
+	}
+}
+
+func TestLeaseBatchRoundTrip(t *testing.T) {
+	srv, ep, done := testbed(t, "PAK")
+	defer done()
+	if err := ep.Register(); err != nil {
+		t.Fatal(err)
+	}
+	var tasks []Task
+	for i := 0; i < 5; i++ {
+		tasks = append(tasks, Task{Kind: "dns", Config: "esim"})
+	}
+	ids, err := srv.ScheduleBatch("me-PAK", tasks)
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("ScheduleBatch = %v, %v", ids, err)
+	}
+	first, err := ep.Lease(3)
+	if err != nil || len(first) != 3 {
+		t.Fatalf("lease = %d tasks, %v", len(first), err)
+	}
+	if first[0].ID != ids[0] || first[2].ID != ids[2] {
+		t.Errorf("lease order: %+v vs ids %v", first, ids)
+	}
+	rest, err := ep.Lease(10)
+	if err != nil || len(rest) != 2 {
+		t.Fatalf("second lease = %d tasks, %v", len(rest), err)
+	}
+	empty, err := ep.Lease(10)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("drained lease = %d tasks, %v", len(empty), err)
+	}
+	var results []Result
+	for _, task := range append(first, rest...) {
+		results = append(results, ep.Execute(task))
+	}
+	if err := ep.Upload(results); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.Results()
+	if len(got) != 5 {
+		t.Fatalf("results = %d, want 5", len(got))
+	}
+	for _, r := range got {
+		if !r.OK {
+			t.Errorf("failed result: %+v", r)
+		}
+	}
+}
+
+func TestRunBatchDrainsQueue(t *testing.T) {
+	srv, ep, done := testbed(t, "DEU")
+	defer done()
+	ep.Register()
+	for i := 0; i < 7; i++ {
+		srv.Schedule("me-DEU", Task{Kind: "speedtest", Config: "esim"})
+	}
+	total := 0
+	for {
+		n, err := ep.RunBatch(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total != 7 || len(srv.Results()) != 7 {
+		t.Fatalf("executed %d, results %d, want 7", total, len(srv.Results()))
+	}
+}
+
+func TestResultsSinceCursor(t *testing.T) {
+	srv, ep, done := testbed(t, "PAK")
+	defer done()
+	ep.Register()
+	upload := func(n int) {
+		var batch []Result
+		for i := 0; i < n; i++ {
+			batch = append(batch, Result{ME: "me-PAK", Kind: "dns", Config: "esim", OK: true})
+		}
+		if err := ep.Upload(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	upload(3)
+	rs, cursor := srv.ResultsSince(0)
+	if len(rs) != 3 || cursor != 3 {
+		t.Fatalf("ResultsSince(0) = %d results, cursor %d", len(rs), cursor)
+	}
+	rs, cursor = srv.ResultsSince(cursor)
+	if len(rs) != 0 || cursor != 3 {
+		t.Fatalf("incremental read = %d results, cursor %d", len(rs), cursor)
+	}
+	upload(2)
+	rs, cursor = srv.ResultsSince(3)
+	if len(rs) != 2 || cursor != 5 {
+		t.Fatalf("ResultsSince(3) = %d results, cursor %d", len(rs), cursor)
+	}
+	// Out-of-range cursors clamp instead of panicking.
+	if rs, c := srv.ResultsSince(99); len(rs) != 0 || c != 5 {
+		t.Fatalf("ResultsSince(99) = %d results, cursor %d", len(rs), c)
+	}
+	if srv.Cursor() != 5 {
+		t.Errorf("Cursor = %d, want 5", srv.Cursor())
+	}
+}
+
+func TestOversizedBatchRejectedWith429(t *testing.T) {
+	srv := NewServer(nil, WithSpoolCapacity(2), WithRetryAfter(3*time.Second))
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	batch, _ := json.Marshal([]Result{{ME: "a"}, {ME: "b"}, {ME: "c"}})
+	resp, err := hs.Client().Post(hs.URL+"/v2/results", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+	if len(srv.Results()) != 0 {
+		t.Error("rejected batch must not reach the sink")
+	}
+}
+
+// gateSink blocks Append until its gate closes, simulating a sink that
+// cannot keep up.
+type gateSink struct {
+	entered chan struct{}
+	gate    chan struct{}
+	inner   *MemorySink
+	once    sync.Once
+}
+
+func (g *gateSink) Append(batch []Result) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.gate
+	g.inner.Append(batch)
+}
+
+func TestBackpressureShedsWhenSinkStalls(t *testing.T) {
+	sink := &gateSink{entered: make(chan struct{}), gate: make(chan struct{}), inner: NewMemorySink()}
+	srv := NewServer(nil, WithSink(sink), WithSpoolCapacity(2), WithRetryAfter(0))
+	one := func(me string) []Result { return []Result{{ME: me, OK: true}} }
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // blocks inside the stalled sink, holding the drain lock
+		defer wg.Done()
+		if err := srv.Submit(append(one("a"), one("b")...)); err != nil {
+			t.Errorf("first submit: %v", err)
+		}
+	}()
+	<-sink.entered
+	go func() { // parks its batch in the spool, then waits on the drain lock
+		defer wg.Done()
+		if err := srv.Submit(append(one("c"), one("d")...)); err != nil {
+			t.Errorf("second submit: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SpoolDepth() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("spool never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The spool is full: further uploads are shed, not queued.
+	if err := srv.Submit(one("e")); err != ErrSpoolFull {
+		t.Fatalf("submit on full spool = %v, want ErrSpoolFull", err)
+	}
+	close(sink.gate)
+	wg.Wait()
+	if got := sink.inner.Len(); got != 4 {
+		t.Fatalf("sunk results = %d, want 4", got)
+	}
+	// And read-your-writes holds again once the sink recovers.
+	if err := srv.Submit(one("e")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.inner.Len(); got != 5 {
+		t.Fatalf("results after recovery = %d, want 5", got)
+	}
+}
+
+func TestEndpointUploadRetriesThrough429(t *testing.T) {
+	sink := &gateSink{entered: make(chan struct{}), gate: make(chan struct{}), inner: NewMemorySink()}
+	srv := NewServer(nil, WithSink(sink), WithSpoolCapacity(1), WithRetryAfter(0))
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ep := NewEndpoint("me-PAK", hs.URL, world(t).Deployments["PAK"], rng.New(5))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // stalls in the sink
+		defer wg.Done()
+		srv.Submit([]Result{{ME: "x", OK: true}})
+	}()
+	<-sink.entered
+	go func() { // fills the spool
+		defer wg.Done()
+		srv.Submit([]Result{{ME: "y", OK: true}})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SpoolDepth() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("spool never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Release the sink shortly after the endpoint starts retrying.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(sink.gate)
+	}()
+	if err := ep.Upload([]Result{{ME: "me-PAK", Kind: "dns", Config: "esim", OK: true}}); err != nil {
+		t.Fatalf("upload through backpressure: %v", err)
+	}
+	wg.Wait()
+	if got := sink.inner.Len(); got != 3 {
+		t.Fatalf("results = %d, want 3", got)
+	}
+}
+
+func TestAdminHandlerScheduleAndResults(t *testing.T) {
+	srv := NewServer(nil)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.Handle("/v2/", srv.Handler())
+	mux.Handle("/admin/", srv.AdminHandler())
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+	ep := NewEndpoint("me-PAK", hs.URL, world(t).Deployments["PAK"], rng.New(5))
+	if err := ep.Register(); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"me":    "me-PAK",
+		"tasks": []Task{{Kind: "dns", Config: "esim"}, {Kind: "speedtest", Config: "esim"}},
+	})
+	resp, err := hs.Client().Post(hs.URL+"/admin/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched struct {
+		TaskIDs []int `json:"task_ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sched); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sched.TaskIDs) != 2 {
+		t.Fatalf("task_ids = %v", sched.TaskIDs)
+	}
+	for {
+		n, err := ep.RunBatch(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	resp, err = hs.Client().Get(hs.URL + "/admin/results?cursor=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Cursor  int      `json:"cursor"`
+		Results []Result `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if page.Cursor != 2 || len(page.Results) != 2 {
+		t.Fatalf("page = cursor %d, %d results", page.Cursor, len(page.Results))
+	}
+	// cursor=-1 peeks at the cursor without copying history.
+	resp, err = hs.Client().Get(hs.URL + "/admin/results?cursor=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page.Results = nil
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if page.Cursor != 2 || len(page.Results) != 0 {
+		t.Fatalf("peek = cursor %d, %d results", page.Cursor, len(page.Results))
+	}
+}
+
+func TestConcurrentLeaseUploadManyMEs(t *testing.T) {
+	// A miniature fleet hammering the sharded registry and spool
+	// concurrently; meant to run under -race.
+	srv := NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	const mes, tasksPer = 32, 6
+	var wg sync.WaitGroup
+	for i := 0; i < mes; i++ {
+		name := fmt.Sprintf("me-%03d", i)
+		srv.Register(name, "PAK")
+		var tasks []Task
+		for j := 0; j < tasksPer; j++ {
+			tasks = append(tasks, Task{Kind: "noop", Config: "esim"})
+		}
+		if _, err := srv.ScheduleBatch(name, tasks); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			ep := &Endpoint{Name: name, BaseURL: hs.URL, Client: hs.Client()}
+			for {
+				leased, err := ep.Lease(4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(leased) == 0 {
+					return
+				}
+				var results []Result
+				for _, task := range leased {
+					results = append(results, Result{TaskID: task.ID, ME: name, Kind: task.Kind, OK: true})
+				}
+				if err := ep.Upload(results); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	if got := len(srv.Results()); got != mes*tasksPer {
+		t.Fatalf("results = %d, want %d", got, mes*tasksPer)
+	}
+	if got := len(srv.MEs()); got != mes {
+		t.Fatalf("MEs = %d, want %d", got, mes)
 	}
 }

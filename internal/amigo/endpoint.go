@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 
 	"roamsim/internal/airalo"
 	"roamsim/internal/measure"
@@ -34,20 +38,33 @@ func NewEndpoint(name, baseURL string, dep *airalo.Deployment, src *rng.Source) 
 	}
 }
 
-func (e *Endpoint) post(path string, body any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := e.Client.Post(e.BaseURL+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
+// drainClose discards any unread body bytes before closing, so the
+// underlying connection goes back into the keep-alive pool instead of
+// being torn down (a fleet of MEs would otherwise churn one TCP
+// connection per request).
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+}
+
+func (e *Endpoint) post(path string, body any) error {
+	resp, err := e.postResp(path, body)
+	if err != nil {
+		return err
+	}
+	drainClose(resp)
 	if resp.StatusCode >= 300 {
 		return fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
 	}
 	return nil
+}
+
+func (e *Endpoint) postResp(path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return e.Client.Post(e.BaseURL+path, "application/json", bytes.NewReader(buf))
 }
 
 // Register announces the ME to the control server.
@@ -76,11 +93,11 @@ func (e *Endpoint) Heartbeat() error {
 // RunOnce polls for one task, executes it, and uploads the result.
 // It returns false when the queue is empty.
 func (e *Endpoint) RunOnce() (bool, error) {
-	resp, err := e.Client.Get(fmt.Sprintf("%s/v1/tasks?me=%s", e.BaseURL, e.Name))
+	resp, err := e.Client.Get(e.BaseURL + "/v1/tasks?me=" + url.QueryEscape(e.Name))
 	if err != nil {
 		return false, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	switch resp.StatusCode {
 	case http.StatusNoContent:
 		return false, nil
@@ -92,15 +109,95 @@ func (e *Endpoint) RunOnce() (bool, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&task); err != nil {
 		return false, err
 	}
-	result := e.execute(task)
+	result := e.Execute(task)
 	if err := e.post("/v1/results", result); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
-// execute runs the instrumentation for a task against the right session.
-func (e *Endpoint) execute(task Task) Result {
+// Lease asks the server for up to max tasks over the v2 batch protocol.
+// An empty slice means the queue is drained.
+func (e *Endpoint) Lease(max int) ([]Task, error) {
+	resp, err := e.postResp("/v2/tasks/lease", map[string]any{"me": e.Name, "max": max})
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+	default:
+		return nil, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+	}
+	var tasks []Task
+	if err := json.NewDecoder(resp.Body).Decode(&tasks); err != nil {
+		return nil, err
+	}
+	return tasks, nil
+}
+
+// uploadAttempts bounds how long Upload keeps retrying a backpressured
+// (429) server before giving up.
+const uploadAttempts = 400
+
+// Upload posts a result batch over the v2 protocol, honouring the
+// server's 429 + Retry-After backpressure by waiting and retrying.
+func (e *Endpoint) Upload(results []Result) error {
+	if len(results) == 0 {
+		return nil
+	}
+	for attempt := 0; attempt < uploadAttempts; attempt++ {
+		resp, err := e.postResp("/v2/results", results)
+		if err != nil {
+			return err
+		}
+		wait := retryAfter(resp)
+		drainClose(resp)
+		switch {
+		case resp.StatusCode < 300:
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			if wait <= 0 {
+				wait = 25 * time.Millisecond
+			}
+			time.Sleep(wait)
+		default:
+			return fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
+		}
+	}
+	return fmt.Errorf("amigo: results upload still backpressured after %d attempts", uploadAttempts)
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// RunBatch leases up to max tasks, executes them in order, and uploads
+// the results as one batch. It returns the number of tasks executed;
+// zero means the queue is drained.
+func (e *Endpoint) RunBatch(max int) (int, error) {
+	tasks, err := e.Lease(max)
+	if err != nil || len(tasks) == 0 {
+		return 0, err
+	}
+	results := make([]Result, len(tasks))
+	for i, task := range tasks {
+		results[i] = e.Execute(task)
+	}
+	if err := e.Upload(results); err != nil {
+		return 0, err
+	}
+	return len(tasks), nil
+}
+
+// Execute runs the instrumentation for a task against the right session.
+func (e *Endpoint) Execute(task Task) Result {
 	res := Result{TaskID: task.ID, ME: e.Name, Kind: task.Kind, Config: task.Config}
 	session, err := e.attach(task.Config)
 	if err != nil {

@@ -7,14 +7,50 @@
 // the ME drives sessions of the simulated world instead of a radio, but
 // the control-plane protocol — register, heartbeat with vitals, poll for
 // tasks, upload observations — is the same shape, over real HTTP.
+//
+// # Protocol
+//
+// The v1 protocol is one task per round trip, exactly what a handful of
+// phones needs:
+//
+//	POST /v1/register   {"me": ..., "country": ...}
+//	POST /v1/status     {"me": ..., "vitals": {...}}
+//	GET  /v1/tasks?me=X          -> next queued task (204 if none)
+//	POST /v1/results    Result
+//
+// The v2 batch protocol is the fleet-scale path (see internal/fleet):
+// an ME leases up to K tasks in one round trip and uploads results in
+// batches, cutting control-plane round trips by ~K×:
+//
+//	POST /v2/tasks/lease  {"me": ..., "max": K}  -> up to K tasks (204 if none)
+//	POST /v2/results      [Result, ...]          -> 204, or 429 + Retry-After
+//
+// # Backpressure
+//
+// Uploaded results flow through a bounded spool into a pluggable Sink
+// (MemorySink by default, which retains results for Results /
+// ResultsSince). An upload returns only after its batch has reached the
+// sink, so Results() observed after a 2xx upload always includes it.
+// When the sink cannot keep up and the spool is full, uploads are shed
+// with HTTP 429 and a Retry-After hint instead of growing memory without
+// bound.
+//
+// The ME registry is sharded by endpoint name, so registration,
+// heartbeats, leases and scheduling for different MEs do not contend on
+// one mutex at fleet scale.
 package amigo
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,6 +86,10 @@ type Result struct {
 	Uploaded time.Time       `json:"uploaded"`
 }
 
+// ErrSpoolFull is returned by Submit when the bounded result spool has
+// no room for a batch; HTTP handlers translate it to 429 + Retry-After.
+var ErrSpoolFull = errors.New("amigo: result spool full")
+
 // meState tracks one registered endpoint.
 type meState struct {
 	Country    string
@@ -58,51 +98,249 @@ type meState struct {
 	queue      []Task
 }
 
+// registryShard holds a slice of the ME registry under its own lock.
+type registryShard struct {
+	mu  sync.Mutex
+	mes map[string]*meState
+}
+
+const (
+	defaultShardCount = 16
+	defaultSpoolCap   = 8192
+)
+
 // Server is the AmiGo control server.
 type Server struct {
-	mu      sync.Mutex
-	mes     map[string]*meState
-	results []Result
-	nextID  int
-	clock   func() time.Time
+	shards []registryShard
+	nextID atomic.Int64
+	clock  func() time.Time
+
+	retryAfter time.Duration
+
+	spoolMu  sync.Mutex
+	spool    []Result
+	spoolCap int
+
+	drainMu sync.Mutex
+	sink    Sink
+	mem     *MemorySink // nil when a custom non-memory sink is installed
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithSink replaces the default MemorySink. With a custom sink the
+// server no longer retains results itself: Results and ResultsSince
+// return nothing unless the sink is a *MemorySink.
+func WithSink(sink Sink) Option {
+	return func(s *Server) {
+		s.sink = sink
+		s.mem, _ = sink.(*MemorySink)
+	}
+}
+
+// WithSpoolCapacity bounds the result spool (default 8192 results).
+func WithSpoolCapacity(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.spoolCap = n
+		}
+	}
+}
+
+// WithShardCount sets the ME registry shard count (default 16).
+func WithShardCount(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.shards = make([]registryShard, n)
+		}
+	}
+}
+
+// WithRetryAfter sets the Retry-After hint sent with 429 responses
+// (default 1s; rounded up to whole seconds on the wire).
+func WithRetryAfter(d time.Duration) Option {
+	return func(s *Server) { s.retryAfter = d }
 }
 
 // NewServer returns a control server. clock may be nil (wall clock).
-func NewServer(clock func() time.Time) *Server {
+func NewServer(clock func() time.Time, opts ...Option) *Server {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Server{mes: map[string]*meState{}, clock: clock}
+	mem := NewMemorySink()
+	s := &Server{
+		shards:     make([]registryShard, defaultShardCount),
+		clock:      clock,
+		retryAfter: time.Second,
+		spoolCap:   defaultSpoolCap,
+		sink:       mem,
+		mem:        mem,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	for i := range s.shards {
+		s.shards[i].mes = map[string]*meState{}
+	}
+	return s
+}
+
+func (s *Server) shardFor(me string) *registryShard {
+	h := fnv.New32a()
+	h.Write([]byte(me))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Register creates (or refreshes) an ME registration.
+func (s *Server) Register(me, country string) {
+	sh := s.shardFor(me)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.mes[me]; !ok {
+		sh.mes[me] = &meState{Country: country}
+	}
+	sh.mes[me].LastSeen = s.clock()
 }
 
 // Schedule queues a task for the named ME and returns its ID.
 func (s *Server) Schedule(me string, task Task) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.mes[me]
-	if !ok {
-		return 0, fmt.Errorf("amigo: unknown ME %q", me)
+	ids, err := s.ScheduleBatch(me, []Task{task})
+	if err != nil {
+		return 0, err
 	}
-	s.nextID++
-	task.ID = s.nextID
-	st.queue = append(st.queue, task)
-	return task.ID, nil
+	return ids[0], nil
 }
 
-// Results returns a copy of the uploaded results.
+// ScheduleBatch queues tasks for the named ME in order and returns their
+// IDs. IDs are globally unique and monotonically increasing per ME.
+func (s *Server) ScheduleBatch(me string, tasks []Task) ([]int, error) {
+	sh := s.shardFor(me)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.mes[me]
+	if !ok {
+		return nil, fmt.Errorf("amigo: unknown ME %q", me)
+	}
+	ids := make([]int, len(tasks))
+	for i, t := range tasks {
+		t.ID = int(s.nextID.Add(1))
+		st.queue = append(st.queue, t)
+		ids[i] = t.ID
+	}
+	return ids, nil
+}
+
+// Lease pops up to max queued tasks for the named ME, in queue order.
+// It returns an empty slice when the queue is empty and an error when
+// the ME is unknown.
+func (s *Server) Lease(me string, max int) ([]Task, error) {
+	if max < 1 {
+		max = 1
+	}
+	sh := s.shardFor(me)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.mes[me]
+	if !ok {
+		return nil, fmt.Errorf("amigo: unknown ME %q", me)
+	}
+	n := min(max, len(st.queue))
+	leased := append([]Task(nil), st.queue[:n]...)
+	st.queue = st.queue[n:]
+	if len(st.queue) == 0 {
+		st.queue = nil // release the drained backing array
+	}
+	return leased, nil
+}
+
+// Submit stamps a batch with the server clock and routes it through the
+// bounded spool into the sink. It returns ErrSpoolFull when the spool
+// cannot absorb the batch; otherwise it returns only after the batch has
+// reached the sink, so a subsequent Results call observes it.
+func (s *Server) Submit(batch []Result) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	now := s.clock()
+	stamped := make([]Result, len(batch))
+	copy(stamped, batch)
+	for i := range stamped {
+		stamped[i].Uploaded = now
+	}
+	s.spoolMu.Lock()
+	if len(s.spool)+len(stamped) > s.spoolCap {
+		s.spoolMu.Unlock()
+		return ErrSpoolFull
+	}
+	s.spool = append(s.spool, stamped...)
+	s.spoolMu.Unlock()
+	s.drain()
+	return nil
+}
+
+// drain moves spooled results into the sink. Sink writes are serialized
+// under drainMu; a submitter whose batch was claimed by a concurrent
+// drainer blocks here until that drainer has sunk it, preserving
+// read-your-writes for uploads.
+func (s *Server) drain() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	for {
+		s.spoolMu.Lock()
+		batch := s.spool
+		s.spool = nil
+		s.spoolMu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		s.sink.Append(batch)
+	}
+}
+
+// SpoolDepth reports how many results are parked in the spool awaiting
+// the sink — a liveness metric; nonzero values mean the sink is behind.
+func (s *Server) SpoolDepth() int {
+	s.spoolMu.Lock()
+	defer s.spoolMu.Unlock()
+	return len(s.spool)
+}
+
+// Results returns a copy of every retained result (MemorySink only).
 func (s *Server) Results() []Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Result(nil), s.results...)
+	rs, _ := s.ResultsSince(0)
+	return rs
+}
+
+// ResultsSince returns the retained results at positions >= cursor and
+// the cursor one past the newest result, so pollers can read
+// incrementally instead of copying the whole history each time. It
+// returns nothing when a custom non-memory sink is installed.
+func (s *Server) ResultsSince(cursor int) ([]Result, int) {
+	if s.mem == nil {
+		return nil, 0
+	}
+	return s.mem.Since(cursor)
+}
+
+// Cursor returns the current result cursor (see ResultsSince).
+func (s *Server) Cursor() int {
+	if s.mem == nil {
+		return 0
+	}
+	return s.mem.Len()
 }
 
 // MEs lists registered endpoints, sorted.
 func (s *Server) MEs() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.mes))
-	for name := range s.mes {
-		out = append(out, name)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for name := range sh.mes {
+			out = append(out, name)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -110,21 +348,28 @@ func (s *Server) MEs() []string {
 
 // Vitals returns the last-reported vitals for an ME.
 func (s *Server) Vitals(me string) (Vitals, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.mes[me]
+	sh := s.shardFor(me)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.mes[me]
 	if !ok {
 		return Vitals{}, false
 	}
 	return st.LastVitals, true
 }
 
-// Handler exposes the REST API:
-//
-//	POST /v1/register   {"me": ..., "country": ...}
-//	POST /v1/status     {"me": ..., "vitals": {...}}
-//	GET  /v1/tasks?me=X          -> next queued task (204 if none)
-//	POST /v1/results    Result
+// rejectBusy writes the 429 + Retry-After backpressure response.
+func (s *Server) rejectBusy(w http.ResponseWriter) {
+	secs := 0
+	if s.retryAfter > 0 {
+		secs = int(math.Ceil(s.retryAfter.Seconds()))
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "result spool full", http.StatusTooManyRequests)
+}
+
+// Handler exposes the v1 and v2 measurement-endpoint API (see the
+// package comment for the protocol).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
@@ -136,12 +381,7 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "bad register", http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
-		if _, ok := s.mes[req.ME]; !ok {
-			s.mes[req.ME] = &meState{Country: req.Country}
-		}
-		s.mes[req.ME].LastSeen = s.clock()
-		s.mu.Unlock()
+		s.Register(req.ME, req.Country)
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/status", func(w http.ResponseWriter, r *http.Request) {
@@ -153,13 +393,14 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "bad status", http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
-		st, ok := s.mes[req.ME]
+		sh := s.shardFor(req.ME)
+		sh.mu.Lock()
+		st, ok := sh.mes[req.ME]
 		if ok {
 			st.LastVitals = req.Vitals
 			st.LastSeen = s.clock()
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if !ok {
 			http.Error(w, "unknown me", http.StatusNotFound)
 			return
@@ -167,26 +408,17 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
-		me := r.URL.Query().Get("me")
-		s.mu.Lock()
-		st, ok := s.mes[me]
-		var task Task
-		var have bool
-		if ok && len(st.queue) > 0 {
-			task, st.queue = st.queue[0], st.queue[1:]
-			have = true
-		}
-		s.mu.Unlock()
-		if !ok {
+		tasks, err := s.Lease(r.URL.Query().Get("me"), 1)
+		if err != nil {
 			http.Error(w, "unknown me", http.StatusNotFound)
 			return
 		}
-		if !have {
+		if len(tasks) == 0 {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(task)
+		json.NewEncoder(w).Encode(tasks[0])
 	})
 	mux.HandleFunc("POST /v1/results", func(w http.ResponseWriter, r *http.Request) {
 		var res Result
@@ -194,11 +426,111 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "bad result", http.StatusBadRequest)
 			return
 		}
-		res.Uploaded = s.clock()
-		s.mu.Lock()
-		s.results = append(s.results, res)
-		s.mu.Unlock()
+		if err := s.Submit([]Result{res}); err != nil {
+			s.rejectBusy(w)
+			return
+		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v2/tasks/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ME  string `json:"me"`
+			Max int    `json:"max"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ME == "" {
+			http.Error(w, "bad lease", http.StatusBadRequest)
+			return
+		}
+		tasks, err := s.Lease(req.ME, req.Max)
+		if err != nil {
+			http.Error(w, "unknown me", http.StatusNotFound)
+			return
+		}
+		if len(tasks) == 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(tasks)
+	})
+	mux.HandleFunc("POST /v2/results", func(w http.ResponseWriter, r *http.Request) {
+		var batch []Result
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			http.Error(w, "bad results", http.StatusBadRequest)
+			return
+		}
+		if err := s.Submit(batch); err != nil {
+			s.rejectBusy(w)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// AdminHandler exposes the operator API:
+//
+//	POST /admin/schedule  {"me":..., "kind":..., "target":..., "config":..., "count":N}
+//	                      or {"me":..., "tasks":[Task, ...]} for a batch
+//	GET  /admin/results?cursor=N[&limit=M] -> {"cursor": next, "results": [...]}
+//	                      cursor=-1 returns just the current cursor
+//	GET  /admin/mes
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /admin/schedule", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ME     string `json:"me"`
+			Kind   string `json:"kind"`
+			Target string `json:"target"`
+			Config string `json:"config"`
+			Count  int    `json:"count"`
+			Tasks  []Task `json:"tasks"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		tasks := req.Tasks
+		if len(tasks) == 0 {
+			if req.Count <= 0 {
+				req.Count = 1
+			}
+			for i := 0; i < req.Count; i++ {
+				tasks = append(tasks, Task{Kind: req.Kind, Target: req.Target, Config: req.Config})
+			}
+		}
+		ids, err := s.ScheduleBatch(req.ME, tasks)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"task_ids": ids})
+	})
+	mux.HandleFunc("GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		cursor, _ := strconv.Atoi(q.Get("cursor"))
+		limit, _ := strconv.Atoi(q.Get("limit"))
+		var rs []Result
+		var next int
+		if cursor < 0 {
+			rs, next = nil, s.Cursor()
+		} else {
+			rs, next = s.ResultsSince(cursor)
+			if limit > 0 && len(rs) > limit {
+				rs = rs[:limit]
+				next = cursor + limit
+			}
+		}
+		if rs == nil {
+			rs = []Result{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"cursor": next, "results": rs})
+	})
+	mux.HandleFunc("GET /admin/mes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.MEs())
 	})
 	return mux
 }

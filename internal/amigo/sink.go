@@ -1,0 +1,51 @@
+package amigo
+
+import "sync"
+
+// Sink receives drained result batches from the server's bounded spool.
+// Implementations must be safe for concurrent use; the server serializes
+// Append calls itself, but a sink may also be read while appending (the
+// MemorySink is, by admin pollers).
+type Sink interface {
+	Append(batch []Result)
+}
+
+// MemorySink is the default sink: it retains every drained result in
+// arrival order and supports incremental cursor reads, which is what
+// backs Server.Results and Server.ResultsSince.
+type MemorySink struct {
+	mu      sync.RWMutex
+	results []Result
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Append implements Sink.
+func (m *MemorySink) Append(batch []Result) {
+	m.mu.Lock()
+	m.results = append(m.results, batch...)
+	m.mu.Unlock()
+}
+
+// Len returns the number of retained results, which is also the cursor
+// one past the newest result.
+func (m *MemorySink) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.results)
+}
+
+// Since returns a copy of the results at positions >= cursor and the
+// cursor one past the newest result. Out-of-range cursors are clamped.
+func (m *MemorySink) Since(cursor int) ([]Result, int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > len(m.results) {
+		cursor = len(m.results)
+	}
+	return append([]Result(nil), m.results[cursor:]...), len(m.results)
+}

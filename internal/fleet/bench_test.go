@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"roamsim/internal/amigo"
+)
+
+// BenchmarkFleetThroughput measures control-plane results/sec at fleet
+// scale: N registered MEs draining a fixed task backlog over real HTTP
+// on loopback, via the v1 one-task-per-poll protocol vs the v2 batch
+// lease/upload protocol. Task execution is stubbed with a canned result
+// so the benchmark isolates the serving path (registry sharding,
+// lease/upload round trips, spool) rather than the measurement
+// simulation. v2 should sustain >= 5x v1 at 1000 MEs.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, mes := range []int{100, 1000, 10000} {
+		for _, proto := range []string{"v1", "v2"} {
+			name := fmt.Sprintf("%s/mes=%d", proto, mes)
+			b.Run(name, func(b *testing.B) {
+				if mes >= 10000 && testing.Short() {
+					b.Skip("10k MEs skipped in -short smoke runs")
+				}
+				benchThroughput(b, mes, proto == "v2")
+			})
+		}
+	}
+}
+
+func benchThroughput(b *testing.B, mes int, v2 bool) {
+	// The device campaign schedules 72 tasks per ME (9 tools x 2
+	// configs x 4 reps); 16 keeps the 10k-ME case tractable while
+	// still letting batch leases amortize round trips.
+	const tasksPerME = 16
+	const workers = 32
+	const leaseBatch = 32
+
+	srv := amigo.NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+	}}
+
+	names := make([]string, mes)
+	taskTmpl := make([]amigo.Task, tasksPerME)
+	for i := range taskTmpl {
+		taskTmpl[i] = amigo.Task{Kind: "speedtest", Config: "esim"}
+	}
+	for i := range names {
+		names[i] = fmt.Sprintf("me-%05d", i)
+		srv.Register(names[i], "PAK")
+	}
+
+	post := func(path string, body any) (*http.Response, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		return client.Post(hs.URL+path, "application/json", bytes.NewReader(buf))
+	}
+	finish := func(resp *http.Response) int {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	drainV1 := func(me string) error {
+		for {
+			resp, err := client.Get(hs.URL + "/v1/tasks?me=" + me)
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusNoContent {
+				finish(resp)
+				return nil
+			}
+			var task amigo.Task
+			err = json.NewDecoder(resp.Body).Decode(&task)
+			finish(resp)
+			if err != nil {
+				return err
+			}
+			up, err := post("/v1/results", amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true})
+			if err != nil {
+				return err
+			}
+			if code := finish(up); code >= 300 {
+				return fmt.Errorf("v1 upload: HTTP %d", code)
+			}
+		}
+	}
+	drainV2 := func(me string) error {
+		for {
+			resp, err := post("/v2/tasks/lease", map[string]any{"me": me, "max": leaseBatch})
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusNoContent {
+				finish(resp)
+				return nil
+			}
+			var tasks []amigo.Task
+			err = json.NewDecoder(resp.Body).Decode(&tasks)
+			finish(resp)
+			if err != nil {
+				return err
+			}
+			results := make([]amigo.Result, len(tasks))
+			for i, task := range tasks {
+				results[i] = amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true}
+			}
+			up, err := post("/v2/results", results)
+			if err != nil {
+				return err
+			}
+			if code := finish(up); code >= 300 {
+				return fmt.Errorf("v2 upload: HTTP %d", code)
+			}
+		}
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		for _, name := range names {
+			if _, err := srv.ScheduleBatch(name, taskTmpl); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		errs := make([]error, mes)
+		runPool(workers, mes, func(i int) {
+			if v2 {
+				errs[i] = drainV2(names[i])
+			} else {
+				errs[i] = drainV1(names[i])
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N * mes * tasksPerME)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "results/s")
+}

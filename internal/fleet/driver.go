@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roamsim/internal/airalo"
+	"roamsim/internal/amigo"
+	"roamsim/internal/rng"
+)
+
+// Driver runs a fleet campaign against a live AmiGo control server.
+type Driver struct {
+	// BaseURL is the control server ("http://127.0.0.1:8080"). The
+	// server must expose both the /v1+/v2 Handler and the
+	// AdminHandler routes.
+	BaseURL string
+	// Client is the HTTP client shared by every ME; nil gets a
+	// keep-alive-tuned default (the fleet would otherwise exhaust
+	// ephemeral ports on connection churn).
+	Client *http.Client
+	// Seed roots the campaign's deterministic randomness.
+	Seed int64
+	// Workers bounds the ME worker pool (0 = GOMAXPROCS).
+	Workers int
+	// LeaseBatch is the max tasks leased per v2 round trip (default 32).
+	LeaseBatch int
+	// StreamLabel names the campaign's parent rng fork (default
+	// "fleet"; "table4" reproduces the in-process device campaign's
+	// streams exactly).
+	StreamLabel string
+	// Heartbeat makes each ME report vitals once after registering,
+	// as the paper's device campaign did. Heartbeats draw from the
+	// ME's radio stream, so this must match between runs being
+	// compared.
+	Heartbeat bool
+}
+
+// Stats summarizes one campaign run.
+type Stats struct {
+	MEs            int
+	TasksScheduled int
+	Results        int
+	Elapsed        time.Duration
+}
+
+// Campaign is the output of a driver run: the expanded plan, every
+// uploaded result fetched back from the server, and run stats.
+type Campaign struct {
+	Plan      Plan
+	Schedules []MESchedule
+	Results   []amigo.Result
+	Stats     Stats
+}
+
+func (d *Driver) client() *http.Client {
+	if d.Client != nil {
+		return d.Client
+	}
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+}
+
+func (d *Driver) workers() int {
+	if d.Workers > 0 {
+		return d.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (d *Driver) leaseBatch() int {
+	if d.LeaseBatch > 0 {
+		return d.LeaseBatch
+	}
+	return 32
+}
+
+func (d *Driver) streamLabel() string {
+	if d.StreamLabel != "" {
+		return d.StreamLabel
+	}
+	return "fleet"
+}
+
+// Run executes the plan: every ME registers, receives its schedule,
+// then leases, executes and uploads in batches until drained; finally
+// the uploaded results are fetched back from the server.
+//
+// Determinism: per-ME rng streams are pre-forked serially in schedule
+// order before the pool starts, and each ME's tasks execute in queue
+// order within its own goroutine, so uploaded payloads depend only on
+// (seed, plan), never on Workers or scheduling. Only the arrival order
+// of results varies; Ingest canonicalizes it.
+func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
+	plan = plan.withDefaults()
+	scheds := plan.Schedules()
+	for _, sc := range scheds {
+		if w.Deployments[sc.ISO] == nil {
+			return nil, fmt.Errorf("fleet: no deployment for country %q", sc.ISO)
+		}
+	}
+	client := d.client()
+
+	// Pre-fork, then spawn: one child stream per ME, serially, in
+	// canonical schedule order (see internal/rng).
+	parent := rng.New(d.Seed).Fork(d.streamLabel())
+	eps := make([]*amigo.Endpoint, len(scheds))
+	for i, sc := range scheds {
+		eps[i] = amigo.NewEndpoint(sc.Name, d.BaseURL, w.Deployments[sc.ISO], parent.Fork(sc.Label))
+		eps[i].Client = client
+	}
+
+	startCursor, err := d.fetchCursor(client)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	errs := make([]error, len(scheds))
+	runPool(d.workers(), len(scheds), func(i int) {
+		errs[i] = d.runME(client, eps[i], scheds[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	results, err := d.fetchResults(client, startCursor)
+	if err != nil {
+		return nil, err
+	}
+	camp := &Campaign{
+		Plan:      plan,
+		Schedules: scheds,
+		Results:   results,
+		Stats: Stats{
+			MEs:            len(scheds),
+			TasksScheduled: len(scheds) * plan.TasksPerME(),
+			Results:        len(results),
+			Elapsed:        time.Since(start),
+		},
+	}
+	return camp, nil
+}
+
+// runME is the per-ME lifecycle: register, receive the schedule,
+// optionally heartbeat, then lease/execute/upload until drained.
+func (d *Driver) runME(client *http.Client, ep *amigo.Endpoint, sc MESchedule) error {
+	if err := ep.Register(); err != nil {
+		return err
+	}
+	if err := d.scheduleBatch(client, sc.Name, sc.Tasks); err != nil {
+		return err
+	}
+	if d.Heartbeat {
+		if err := ep.Heartbeat(); err != nil {
+			return err
+		}
+	}
+	for {
+		n, err := ep.RunBatch(d.leaseBatch())
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}
+
+func (d *Driver) scheduleBatch(client *http.Client, me string, tasks []amigo.Task) error {
+	buf, err := json.Marshal(map[string]any{"me": me, "tasks": tasks})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(d.BaseURL+"/admin/schedule", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: schedule %s: HTTP %d", me, resp.StatusCode)
+	}
+	return nil
+}
+
+type resultsPage struct {
+	Cursor  int            `json:"cursor"`
+	Results []amigo.Result `json:"results"`
+}
+
+func (d *Driver) fetchPage(client *http.Client, cursor, limit int) (resultsPage, error) {
+	var page resultsPage
+	url := fmt.Sprintf("%s/admin/results?cursor=%d", d.BaseURL, cursor)
+	if limit > 0 {
+		url += fmt.Sprintf("&limit=%d", limit)
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return page, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return page, fmt.Errorf("fleet: results: HTTP %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&page)
+	return page, err
+}
+
+func (d *Driver) fetchCursor(client *http.Client) (int, error) {
+	page, err := d.fetchPage(client, -1, 0)
+	return page.Cursor, err
+}
+
+// fetchResults pages through /admin/results from the given cursor.
+func (d *Driver) fetchResults(client *http.Client, cursor int) ([]amigo.Result, error) {
+	const pageSize = 5000
+	var out []amigo.Result
+	for {
+		page, err := d.fetchPage(client, cursor, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Results...)
+		if len(page.Results) == 0 || page.Cursor <= cursor {
+			return out, nil
+		}
+		cursor = page.Cursor
+	}
+}
+
+// RunInProcess executes the same plan the way the paper's campaign ran:
+// serially, one ME at a time, over the v1 one-task-per-poll protocol
+// against a private control server. It is the oracle the fleet driver
+// is cross-checked against: for equal (seed, label, heartbeat, plan) it
+// produces byte-identical ingested datasets.
+func RunInProcess(w *airalo.World, plan Plan, seed int64, label string, heartbeat bool) (*Campaign, error) {
+	plan = plan.withDefaults()
+	scheds := plan.Schedules()
+	srv := amigo.NewServer(nil)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	parent := rng.New(seed).Fork(label)
+	start := time.Now()
+	for _, sc := range scheds {
+		dep := w.Deployments[sc.ISO]
+		if dep == nil {
+			return nil, fmt.Errorf("fleet: no deployment for country %q", sc.ISO)
+		}
+		ep := amigo.NewEndpoint(sc.Name, hs.URL, dep, parent.Fork(sc.Label))
+		if err := ep.Register(); err != nil {
+			return nil, err
+		}
+		if _, err := srv.ScheduleBatch(sc.Name, sc.Tasks); err != nil {
+			return nil, err
+		}
+		if heartbeat {
+			if err := ep.Heartbeat(); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			more, err := ep.RunOnce()
+			if err != nil {
+				return nil, err
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	results := srv.Results()
+	return &Campaign{
+		Plan:      plan,
+		Schedules: scheds,
+		Results:   results,
+		Stats: Stats{
+			MEs:            len(scheds),
+			TasksScheduled: len(scheds) * plan.TasksPerME(),
+			Results:        len(results),
+			Elapsed:        time.Since(start),
+		},
+	}, nil
+}
+
+// runPool executes n index-addressed jobs on a bounded worker pool.
+func runPool(workers, n int, job func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
