@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-fleet
+.PHONY: verify vet build test race bench bench-fleet chaos-smoke fuzz-short
 
-## verify: the CI entry point — vet, build, race-enabled tests, then a
-## one-iteration fleet throughput smoke (v1 vs v2 protocol paths).
-verify: vet build race bench-fleet
+## verify: the CI entry point — vet, build, race-enabled tests, a
+## one-iteration fleet throughput smoke (v1 vs v2 protocol paths), and
+## the chaos differential suite under the race detector.
+verify: vet build race bench-fleet chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +28,16 @@ bench:
 ## (one iteration, 10k-ME cases skipped via -short).
 bench-fleet:
 	$(GO) test -short -run=^$$ -bench=Fleet -benchtime=1x ./internal/fleet
+
+## chaos-smoke: the fault-injection differential suite under the race
+## detector — a chaos fleet run must ingest the byte-identical dataset a
+## clean run does, and the fault schedule must replay from its seed.
+chaos-smoke:
+	$(GO) test -race -run 'TestFleetChaos|TestChaos' ./internal/fleet
+	$(GO) test -race ./internal/chaos
+
+## fuzz-short: a 10s budget per native fuzz target, on top of the
+## checked-in seed corpora (which always run as part of plain `go test`).
+fuzz-short:
+	$(GO) test -fuzz=FuzzDemarcate -fuzztime=10s -run=^$$ ./internal/core
+	$(GO) test -fuzz=FuzzLeaseDecode -fuzztime=10s -run=^$$ ./internal/amigo

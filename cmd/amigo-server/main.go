@@ -22,8 +22,9 @@
 // stream only new uploads. cursor=-1 peeks at the current cursor
 // without returning results.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight uploads before exiting.
+// The server shuts down gracefully on SIGINT/SIGTERM: new requests are
+// rejected with 503 + Retry-After (so well-behaved MEs back off and
+// retry against the replacement server) while in-flight uploads drain.
 package main
 
 import (
@@ -34,11 +35,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"roamsim/internal/amigo"
 )
+
+// drainGate rejects requests with 503 + Retry-After once draining is
+// set. The header matters: the ME retry policy treats a bare 503 and a
+// hinted one identically only because it clamps the hint, but fleet
+// operators pointing other clients at the server get a standard,
+// parseable backoff signal instead of a silent connection error.
+type drainGate struct {
+	draining atomic.Bool
+	next     http.Handler
+}
+
+func (g *drainGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "amigo-server: draining for shutdown", http.StatusServiceUnavailable)
+		return
+	}
+	g.next.ServeHTTP(w, r)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -50,10 +71,11 @@ func main() {
 	mux.Handle("/v1/", h)
 	mux.Handle("/v2/", h)
 	mux.Handle("/admin/", srv.AdminHandler())
+	gate := &drainGate{next: mux}
 
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           gate,
 		ReadTimeout:       15 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -73,8 +95,10 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain in-flight uploads before exiting.
-	fmt.Println("amigo-server: shutting down")
+	// Shed new work with 503 + Retry-After, then drain in-flight
+	// uploads before exiting.
+	gate.draining.Store(true)
+	fmt.Println("amigo-server: draining, new requests get 503 + Retry-After")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {

@@ -13,12 +13,22 @@
 //
 //	roam-fleet [-server URL] [-mes N] [-countries GEO,DEU,...] [-seed N]
 //	           [-workers N] [-lease K] [-reps N] [-configs sim,esim]
-//	           [-crosscheck]
+//	           [-crosscheck] [-chaos light|heavy] [-chaos-seed N]
+//	           [-straggler DUR]
 //
 // With -crosscheck the same plan is also run serially in-process over
 // the v1 protocol and the two Table 4 / RTT renderings are compared;
 // any mismatch exits nonzero. For a fixed seed the fleet output is
 // byte-identical regardless of -workers or -lease.
+//
+// With -chaos the run is subjected to seeded deterministic fault
+// injection (connection resets, truncation, duplicate deliveries,
+// latency spikes, 503/429 storms, mid-campaign ME crash/restart; see
+// internal/chaos). The ingested dataset and printed tables are still
+// byte-identical to the clean run — faults cost retries, never data —
+// and the injected fault schedule replays exactly for a given
+// -chaos-seed. Chaos requires the self-hosted server (the storm
+// middleware must wrap the handler).
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 
 	"roamsim/internal/airalo"
 	"roamsim/internal/amigo"
+	"roamsim/internal/chaos"
 	"roamsim/internal/fleet"
 )
 
@@ -45,6 +56,9 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per (tool, config)")
 	configs := flag.String("configs", "sim,esim", "comma-separated SIM configurations")
 	crosscheck := flag.Bool("crosscheck", false, "also run the plan serially in-process and compare outputs")
+	chaosMode := flag.String("chaos", "", "inject deterministic faults: \"light\" or \"heavy\" (empty = off)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (0 = use -seed); same seed replays the same faults")
+	straggler := flag.Duration("straggler", 0, "per-ME-incarnation watchdog; a stuck ME is killed and restarted (0 = off)")
 	flag.Parse()
 
 	plan := fleet.DeviceCampaignPlan()
@@ -58,9 +72,29 @@ func main() {
 		fatal(err)
 	}
 
+	var inj *chaos.Injector
+	switch *chaosMode {
+	case "":
+	case "light", "heavy":
+		cseed := *chaosSeed
+		if cseed == 0 {
+			cseed = *seed
+		}
+		cfg := chaos.Light()
+		if *chaosMode == "heavy" {
+			cfg = chaos.Heavy()
+		}
+		inj = chaos.NewInjector(cseed, cfg)
+		if *server != "" {
+			fatal(fmt.Errorf("-chaos needs the self-hosted server (storm middleware); drop -server"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -chaos mode %q (want light or heavy)", *chaosMode))
+	}
+
 	baseURL := *server
 	if baseURL == "" {
-		url, shutdown, err := selfHost()
+		url, shutdown, err := selfHost(inj)
 		if err != nil {
 			fatal(err)
 		}
@@ -76,6 +110,8 @@ func main() {
 		LeaseBatch:  *lease,
 		StreamLabel: "table4",
 		Heartbeat:   true,
+		Chaos:       inj,
+		Straggler:   *straggler,
 	}
 	camp, err := d.Run(w, plan)
 	if err != nil {
@@ -88,8 +124,13 @@ func main() {
 
 	st := camp.Stats
 	perSec := float64(st.Results) / st.Elapsed.Seconds()
-	fmt.Printf("fleet: %d MEs, %d tasks scheduled, %d results in %s (%.0f results/s), %d failures\n\n",
+	fmt.Printf("fleet: %d MEs, %d tasks scheduled, %d results in %s (%.0f results/s), %d failures\n",
 		st.MEs, st.TasksScheduled, st.Results, st.Elapsed.Round(time.Millisecond), perSec, len(ds.Failures))
+	if inj != nil {
+		fmt.Printf("chaos: %s mode, seed %d: injected %d faults; dataset is byte-identical to the clean run\n",
+			*chaosMode, inj.Seed(), len(inj.Events()))
+	}
+	fmt.Println()
 	fmt.Println(fleet.Table4(ds, camp.Plan).String())
 	fmt.Println(fleet.RTTSummary(ds, camp.Plan).String())
 
@@ -119,8 +160,10 @@ func main() {
 }
 
 // selfHost starts an AmiGo control server on an ephemeral loopback port
-// and returns its base URL plus a shutdown func.
-func selfHost() (string, func(), error) {
+// and returns its base URL plus a shutdown func. A non-nil injector
+// wraps the handler with server-side storm middleware (admin traffic
+// carries no chaos header and passes through untouched).
+func selfHost(inj *chaos.Injector) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
@@ -131,8 +174,12 @@ func selfHost() (string, func(), error) {
 	mux.Handle("/v1/", h)
 	mux.Handle("/v2/", h)
 	mux.Handle("/admin/", srv.AdminHandler())
+	var handler http.Handler = mux
+	if inj != nil {
+		handler = inj.Middleware(mux)
+	}
 	hs := &http.Server{
-		Handler:           mux,
+		Handler:           handler,
 		ReadTimeout:       15 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,

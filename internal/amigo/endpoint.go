@@ -2,8 +2,10 @@ package amigo
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
@@ -17,6 +19,61 @@ import (
 	"roamsim/internal/video"
 )
 
+// Backoff is the endpoint's retry policy: capped exponential backoff
+// with optional jitter, shared by every control-plane operation. The
+// zero value means defaults.
+type Backoff struct {
+	// MaxAttempts caps the tries per logical operation (default 10);
+	// the operation fails with the last error once exhausted — the
+	// endpoint never loops forever against a broken server.
+	MaxAttempts int
+	// Base is the first retry delay; it doubles each attempt (default
+	// 25ms).
+	Base time.Duration
+	// Max caps the backoff delay AND clamps any server-sent
+	// Retry-After hint (default 2s) — a confused or hostile server
+	// cannot park the fleet for an hour with one header.
+	Max time.Duration
+	// Jitter, when set, scales every delay by a uniform factor in
+	// [0.5, 1.5) drawn from this stream, de-synchronizing fleet
+	// retries. It must be a stream separate from the measurement
+	// source (rng.Stream), so retry timing never perturbs payloads.
+	Jitter *rng.Source
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.MaxAttempts <= 0 {
+		b.MaxAttempts = 10
+	}
+	if b.Base <= 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	return b
+}
+
+// delay returns the wait before retry number attempt (0-based). A
+// positive server hint (Retry-After) wins over the exponential
+// schedule, but is clamped to Max rather than trusted blindly.
+func (b Backoff) delay(attempt int, hint time.Duration) time.Duration {
+	d := hint
+	if d <= 0 {
+		d = b.Base << attempt
+		if d <= 0 { // shift overflow
+			d = b.Max
+		}
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter != nil {
+		d = time.Duration(b.Jitter.Uniform(0.5, 1.5) * float64(d))
+	}
+	return d
+}
+
 // Endpoint is a measurement endpoint: the rooted-phone replacement that
 // executes instrumentation against the simulated world and talks to the
 // control server over HTTP.
@@ -26,8 +83,15 @@ type Endpoint struct {
 	Client  *http.Client
 	Dep     *airalo.Deployment
 	Src     *rng.Source
+	// Retry is the control-plane retry policy (zero value = defaults).
+	Retry Backoff
+	// Ctx, when set, bounds every request and backoff sleep — the
+	// fleet driver's straggler watchdog cancels it to reclaim an ME
+	// stuck behind pathological faults.
+	Ctx context.Context
 
 	battery float64
+	acked   int // highest task ID leased so far (v2 ack cursor)
 }
 
 // NewEndpoint creates an ME bound to a deployment.
@@ -36,6 +100,67 @@ func NewEndpoint(name, baseURL string, dep *airalo.Deployment, src *rng.Source) 
 		Name: name, BaseURL: baseURL, Client: http.DefaultClient,
 		Dep: dep, Src: src, battery: 1,
 	}
+}
+
+func (e *Endpoint) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+func (e *Endpoint) httpClient() *http.Client {
+	if e.Client != nil {
+		return e.Client
+	}
+	return http.DefaultClient
+}
+
+// sleep waits d, or returns early with the context error if the
+// endpoint is cancelled (watchdog, shutdown).
+func (e *Endpoint) sleep(d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-e.ctx().Done():
+		return e.ctx().Err()
+	}
+}
+
+// retry runs attempt under the endpoint's backoff policy. attempt
+// returns done=true to stop (success or permanent failure), done=false
+// to back off and try again; hint carries a server Retry-After to honour
+// (clamped by the policy).
+func (e *Endpoint) retry(op string, attempt func() (done bool, hint time.Duration, err error)) error {
+	b := e.Retry.withDefaults()
+	var lastErr error
+	var lastHint time.Duration
+	for i := 0; i < b.MaxAttempts; i++ {
+		if i > 0 {
+			if err := e.sleep(b.delay(i-1, lastHint)); err != nil {
+				return err
+			}
+		}
+		done, hint, err := attempt()
+		if done {
+			return err
+		}
+		lastErr, lastHint = err, hint
+		if ctxErr := e.ctx().Err(); ctxErr != nil {
+			return ctxErr
+		}
+	}
+	return fmt.Errorf("amigo: %s: giving up after %d attempts: %w", op, b.MaxAttempts, lastErr)
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// backpressure (429) and server-side failures (5xx). Client errors are
+// permanent.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
 }
 
 // drainClose discards any unread body bytes before closing, so the
@@ -47,24 +172,42 @@ func drainClose(resp *http.Response) {
 	resp.Body.Close()
 }
 
+// post sends a JSON body and retries transport errors, 429s, and 5xx
+// under the backoff policy. Control-plane posts (register, status,
+// requeue) are idempotent on the server, so resending is always safe.
 func (e *Endpoint) post(path string, body any) error {
-	resp, err := e.postResp(path, body)
-	if err != nil {
-		return err
-	}
-	drainClose(resp)
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
-	}
-	return nil
+	return e.retry(path, func() (bool, time.Duration, error) {
+		resp, err := e.postResp(path, body, nil)
+		if err != nil {
+			return false, 0, err
+		}
+		wait := retryAfter(resp)
+		drainClose(resp)
+		switch {
+		case resp.StatusCode < 300:
+			return true, 0, nil
+		case retryableStatus(resp.StatusCode):
+			return false, wait, fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
+		default:
+			return true, 0, fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
+		}
+	})
 }
 
-func (e *Endpoint) postResp(path string, body any) (*http.Response, error) {
+func (e *Endpoint) postResp(path string, body any, header map[string]string) (*http.Response, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	return e.Client.Post(e.BaseURL+path, "application/json", bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(e.ctx(), http.MethodPost, e.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	return e.httpClient().Do(req)
 }
 
 // Register announces the ME to the control server.
@@ -93,7 +236,12 @@ func (e *Endpoint) Heartbeat() error {
 // RunOnce polls for one task, executes it, and uploads the result.
 // It returns false when the queue is empty.
 func (e *Endpoint) RunOnce() (bool, error) {
-	resp, err := e.Client.Get(e.BaseURL + "/v1/tasks?me=" + url.QueryEscape(e.Name))
+	req, err := http.NewRequestWithContext(e.ctx(), http.MethodGet,
+		e.BaseURL+"/v1/tasks?me="+url.QueryEscape(e.Name), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := e.httpClient().Do(req)
 	if err != nil {
 		return false, err
 	}
@@ -116,60 +264,110 @@ func (e *Endpoint) RunOnce() (bool, error) {
 	return true, nil
 }
 
-// Lease asks the server for up to max tasks over the v2 batch protocol.
-// An empty slice means the queue is drained.
+// Lease asks the server for up to max tasks over the v2 batch
+// protocol, acknowledging everything leased so far (the server retires
+// acked tasks and re-delivers unacked ones, so a lease response lost to
+// a fault is recovered on the next call). An empty slice means the
+// queue is drained. Transport errors, truncated responses, 429s, and
+// 5xx are retried under the backoff policy.
 func (e *Endpoint) Lease(max int) ([]Task, error) {
-	resp, err := e.postResp("/v2/tasks/lease", map[string]any{"me": e.Name, "max": max})
+	var tasks []Task
+	err := e.retry("lease", func() (bool, time.Duration, error) {
+		resp, err := e.postResp("/v2/tasks/lease",
+			map[string]any{"me": e.Name, "max": max, "ack": e.acked}, nil)
+		if err != nil {
+			return false, 0, err
+		}
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			drainClose(resp)
+			tasks = nil
+			return true, 0, nil
+		case http.StatusOK:
+		default:
+			wait := retryAfter(resp)
+			drainClose(resp)
+			if retryableStatus(resp.StatusCode) {
+				return false, wait, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+			}
+			return true, 0, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+		}
+		var got []Task
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		drainClose(resp)
+		if err != nil {
+			// Truncated or garbled response: the batch stays unacked on
+			// the server and the retry re-delivers the same tasks.
+			return false, 0, fmt.Errorf("amigo: lease: decoding response: %w", err)
+		}
+		tasks = got
+		return true, 0, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer drainClose(resp)
-	switch resp.StatusCode {
-	case http.StatusNoContent:
-		return nil, nil
-	case http.StatusOK:
-	default:
-		return nil, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
-	}
-	var tasks []Task
-	if err := json.NewDecoder(resp.Body).Decode(&tasks); err != nil {
-		return nil, err
+	if n := len(tasks); n > 0 {
+		e.acked = tasks[n-1].ID
 	}
 	return tasks, nil
 }
 
-// uploadAttempts bounds how long Upload keeps retrying a backpressured
-// (429) server before giving up.
-const uploadAttempts = 400
+// Redeliver asks the server to restore this ME's full schedule — done,
+// outstanding, and queued tasks, in original order — and resets the
+// lease ack cursor. A restarted ME calls it after re-registering so a
+// full replay re-leases every task; server-side idempotency keys keep
+// the re-uploaded duplicates out of the dataset.
+func (e *Endpoint) Redeliver() error {
+	e.acked = 0
+	return e.post("/v2/tasks/requeue", map[string]string{"me": e.Name})
+}
 
-// Upload posts a result batch over the v2 protocol, honouring the
-// server's 429 + Retry-After backpressure by waiting and retrying.
+// Upload posts a result batch over the v2 protocol under an
+// Idempotency-Key derived from the batch content, retrying transport
+// errors, 429 + Retry-After backpressure (clamped by the backoff
+// policy), and 5xx. The key makes resending always safe: if the server
+// processed a batch but the response was lost, the retry is dropped as
+// a duplicate rather than double-ingested.
 func (e *Endpoint) Upload(results []Result) error {
 	if len(results) == 0 {
 		return nil
 	}
-	for attempt := 0; attempt < uploadAttempts; attempt++ {
-		resp, err := e.postResp("/v2/results", results)
+	header := map[string]string{"Idempotency-Key": uploadKey(e.Name, results)}
+	return e.retry("results", func() (bool, time.Duration, error) {
+		resp, err := e.postResp("/v2/results", results, header)
 		if err != nil {
-			return err
+			return false, 0, err
 		}
 		wait := retryAfter(resp)
 		drainClose(resp)
 		switch {
 		case resp.StatusCode < 300:
-			return nil
-		case resp.StatusCode == http.StatusTooManyRequests:
-			if wait <= 0 {
-				wait = 25 * time.Millisecond
-			}
-			time.Sleep(wait)
+			return true, 0, nil
+		case retryableStatus(resp.StatusCode):
+			return false, wait, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
 		default:
-			return fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
+			return true, 0, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
 		}
-	}
-	return fmt.Errorf("amigo: results upload still backpressured after %d attempts", uploadAttempts)
+	})
 }
 
+// uploadKey derives a batch's idempotency key from its content: the ME
+// name plus every result's (task ID, kind, config). A replayed or
+// duplicated batch hashes identically, so the server keeps only the
+// first copy; distinct batches differ because task IDs are unique per
+// ME schedule.
+func uploadKey(me string, results []Result) string {
+	h := fnv.New64a()
+	io.WriteString(h, me)
+	for _, r := range results {
+		fmt.Fprintf(h, "|%d/%s/%s", r.TaskID, r.Kind, r.Config)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// retryAfter reads a Retry-After header as whole seconds. The backoff
+// policy clamps the hint before sleeping, so a bogus huge value cannot
+// stall an ME.
 func retryAfter(resp *http.Response) time.Duration {
 	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
 	if err != nil || secs < 0 {

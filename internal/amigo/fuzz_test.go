@@ -1,0 +1,38 @@
+package amigo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLeaseDecode hammers the v2 lease request decoder with arbitrary
+// bodies. It must never panic, and every request it accepts must come
+// out normalized: a non-empty ME, Max clamped into [1, maxLeaseBatch],
+// and a non-negative Ack — the guarantees LeaseAck relies on.
+func FuzzLeaseDecode(f *testing.F) {
+	f.Add([]byte(`{"me":"me-PAK","max":32,"ack":7}`))
+	f.Add([]byte(`{"me":"m","max":0}`))
+	f.Add([]byte(`{"me":"m","max":-3,"ack":-9}`))
+	f.Add([]byte(`{"me":"m","max":999999}`))
+	f.Add([]byte(`{"max":5}`))
+	f.Add([]byte(`{"me":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(strings.Repeat("9", 4096)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := parseLeaseRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req.ME == "" {
+			t.Fatal("accepted request with empty ME")
+		}
+		if req.Max < 1 || req.Max > maxLeaseBatch {
+			t.Fatalf("accepted Max = %d outside [1, %d]", req.Max, maxLeaseBatch)
+		}
+		if req.Ack < 0 {
+			t.Fatalf("accepted negative Ack = %d", req.Ack)
+		}
+	})
+}

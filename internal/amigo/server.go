@@ -22,8 +22,19 @@
 // an ME leases up to K tasks in one round trip and uploads results in
 // batches, cutting control-plane round trips by ~K×:
 //
-//	POST /v2/tasks/lease  {"me": ..., "max": K}  -> up to K tasks (204 if none)
-//	POST /v2/results      [Result, ...]          -> 204, or 429 + Retry-After
+//	POST /v2/tasks/lease   {"me": ..., "max": K, "ack": N} -> up to K tasks (204 if none)
+//	POST /v2/tasks/requeue {"me": ...}                     -> 204
+//	POST /v2/results       [Result, ...]                   -> 204, or 429 + Retry-After
+//
+// v2 delivery is at-least-once and loss-tolerant: "ack" acknowledges
+// every previously delivered task ID <= N, and unacked deliveries are
+// re-sent before fresh work is popped, so a lease response lost or
+// truncated on a flaky link is simply re-fetched (LeaseAck). A crashed
+// ME calls /v2/tasks/requeue after re-registering to get its entire
+// schedule back, original task IDs included. Uploads may carry an
+// Idempotency-Key header; a batch whose key was already accepted is
+// dropped server-side (SubmitKeyed), so retried and duplicated uploads
+// never double-count results.
 //
 // # Backpressure
 //
@@ -45,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"net/http"
 	"sort"
@@ -96,6 +108,15 @@ type meState struct {
 	LastVitals Vitals
 	LastSeen   time.Time
 	queue      []Task
+	// outstanding are tasks delivered over the v2 ack'd lease protocol
+	// that the ME has not acknowledged yet. A lease whose response was
+	// lost on the wire is retried with an unchanged ack, and the server
+	// re-delivers these instead of popping fresh work — so a flaky link
+	// can cost round trips but never lose tasks.
+	outstanding []Task
+	// done are acknowledged v2 deliveries, retained so Requeue can
+	// restore a crashed ME's entire schedule in original ID order.
+	done []Task
 }
 
 // registryShard holds a slice of the ME registry under its own lock.
@@ -124,6 +145,9 @@ type Server struct {
 	drainMu sync.Mutex
 	sink    Sink
 	mem     *MemorySink // nil when a custom non-memory sink is installed
+
+	idemMu   sync.Mutex
+	idemSeen map[string]struct{}
 }
 
 // Option configures a Server.
@@ -176,6 +200,7 @@ func NewServer(clock func() time.Time, opts ...Option) *Server {
 		spoolCap:   defaultSpoolCap,
 		sink:       mem,
 		mem:        mem,
+		idemSeen:   map[string]struct{}{},
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -254,6 +279,71 @@ func (s *Server) Lease(me string, max int) ([]Task, error) {
 	return leased, nil
 }
 
+// LeaseAck is the at-least-once v2 lease: ack acknowledges every
+// previously delivered task with ID <= ack, and any still-unacked
+// deliveries are re-sent (in the original order) before fresh work is
+// popped. A client that lost a lease response simply retries with its
+// unchanged ack and receives the same tasks again, so response loss or
+// truncation never drops scheduled work. ack 0 (a fresh client)
+// acknowledges nothing.
+func (s *Server) LeaseAck(me string, max, ack int) ([]Task, error) {
+	if max < 1 {
+		max = 1
+	}
+	sh := s.shardFor(me)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.mes[me]
+	if !ok {
+		return nil, fmt.Errorf("amigo: unknown ME %q", me)
+	}
+	// Retire acknowledged deliveries into the done log (kept for Requeue).
+	for len(st.outstanding) > 0 && st.outstanding[0].ID <= ack {
+		st.done = append(st.done, st.outstanding[0])
+		st.outstanding = st.outstanding[1:]
+	}
+	if len(st.outstanding) > 0 {
+		// Unacked deliveries: the previous response was lost — re-deliver.
+		n := min(max, len(st.outstanding))
+		return append([]Task(nil), st.outstanding[:n]...), nil
+	}
+	n := min(max, len(st.queue))
+	leased := append([]Task(nil), st.queue[:n]...)
+	st.outstanding = append(st.outstanding, leased...)
+	st.queue = st.queue[n:]
+	if len(st.queue) == 0 {
+		st.queue = nil
+	}
+	return leased, nil
+}
+
+// Requeue restores the ME's full v2 schedule — acknowledged, outstanding
+// and undelivered tasks, in original ID order — to the head of its
+// queue. It is how a crashed-and-restarted ME gets its work re-delivered
+// with the original task IDs (so replayed uploads dedup instead of
+// duplicating). Requeue is idempotent: a second call with nothing
+// delivered since is a no-op. It returns how many tasks were restored.
+func (s *Server) Requeue(me string) (int, error) {
+	sh := s.shardFor(me)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.mes[me]
+	if !ok {
+		return 0, fmt.Errorf("amigo: unknown ME %q", me)
+	}
+	restored := len(st.done) + len(st.outstanding)
+	if restored == 0 {
+		return 0, nil
+	}
+	q := make([]Task, 0, restored+len(st.queue))
+	q = append(q, st.done...)
+	q = append(q, st.outstanding...)
+	q = append(q, st.queue...)
+	st.queue = q
+	st.done, st.outstanding = nil, nil
+	return restored, nil
+}
+
 // Submit stamps a batch with the server clock and routes it through the
 // bounded spool into the sink. It returns ErrSpoolFull when the spool
 // cannot absorb the batch; otherwise it returns only after the batch has
@@ -276,6 +366,34 @@ func (s *Server) Submit(batch []Result) error {
 	s.spool = append(s.spool, stamped...)
 	s.spoolMu.Unlock()
 	s.drain()
+	return nil
+}
+
+// SubmitKeyed is Submit with at-most-once semantics: a batch whose
+// idempotency key was already accepted is dropped silently (the first
+// copy is durable by the time its key is recorded, so read-your-writes
+// still holds for the duplicate's 2xx). Keys are recorded only on
+// success — a batch shed with ErrSpoolFull may retry under the same key.
+// An empty key degrades to plain Submit. Uploads for one ME are
+// sequential in every supported client, so the check-then-record window
+// is not raced in practice; a pathological concurrent duplicate would
+// merely double-submit, which Ingest's (ME, task ID) dedup absorbs.
+func (s *Server) SubmitKeyed(key string, batch []Result) error {
+	if key == "" {
+		return s.Submit(batch)
+	}
+	s.idemMu.Lock()
+	_, dup := s.idemSeen[key]
+	s.idemMu.Unlock()
+	if dup {
+		return nil
+	}
+	if err := s.Submit(batch); err != nil {
+		return err
+	}
+	s.idemMu.Lock()
+	s.idemSeen[key] = struct{}{}
+	s.idemMu.Unlock()
 	return nil
 }
 
@@ -433,15 +551,12 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v2/tasks/lease", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			ME  string `json:"me"`
-			Max int    `json:"max"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ME == "" {
+		req, err := parseLeaseRequest(r.Body)
+		if err != nil {
 			http.Error(w, "bad lease", http.StatusBadRequest)
 			return
 		}
-		tasks, err := s.Lease(req.ME, req.Max)
+		tasks, err := s.LeaseAck(req.ME, req.Max, req.Ack)
 		if err != nil {
 			http.Error(w, "unknown me", http.StatusNotFound)
 			return
@@ -453,19 +568,70 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(tasks)
 	})
+	mux.HandleFunc("POST /v2/tasks/requeue", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			ME string `json:"me"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ME == "" {
+			http.Error(w, "bad requeue", http.StatusBadRequest)
+			return
+		}
+		if _, err := s.Requeue(req.ME); err != nil {
+			http.Error(w, "unknown me", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	mux.HandleFunc("POST /v2/results", func(w http.ResponseWriter, r *http.Request) {
 		var batch []Result
 		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 			http.Error(w, "bad results", http.StatusBadRequest)
 			return
 		}
-		if err := s.Submit(batch); err != nil {
+		if err := s.SubmitKeyed(r.Header.Get("Idempotency-Key"), batch); err != nil {
 			s.rejectBusy(w)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	return mux
+}
+
+// maxLeaseBatch bounds how many tasks one v2 lease round trip may
+// request, so a malformed or hostile client cannot drain an entire
+// fleet-sized queue into one response.
+const maxLeaseBatch = 1024
+
+// leaseRequest is the decoded v2 lease body.
+type leaseRequest struct {
+	ME  string `json:"me"`
+	Max int    `json:"max"`
+	// Ack acknowledges all previously delivered task IDs <= Ack; see
+	// LeaseAck. Omitted (0) acknowledges nothing.
+	Ack int `json:"ack"`
+}
+
+// parseLeaseRequest decodes and validates a v2 lease body: the ME name
+// is required, Max is clamped to [1, maxLeaseBatch], and a negative Ack
+// is treated as 0. It is fuzzed by FuzzLeaseDecode.
+func parseLeaseRequest(body io.Reader) (leaseRequest, error) {
+	var req leaseRequest
+	if err := json.NewDecoder(io.LimitReader(body, 1<<20)).Decode(&req); err != nil {
+		return leaseRequest{}, err
+	}
+	if req.ME == "" {
+		return leaseRequest{}, errors.New("amigo: lease request missing me")
+	}
+	if req.Max < 1 {
+		req.Max = 1
+	}
+	if req.Max > maxLeaseBatch {
+		req.Max = maxLeaseBatch
+	}
+	if req.Ack < 0 {
+		req.Ack = 0
+	}
+	return req, nil
 }
 
 // AdminHandler exposes the operator API:

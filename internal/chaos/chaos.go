@@ -1,0 +1,407 @@
+// Package chaos is a seeded, deterministic fault-injection layer for
+// the AmiGo fleet control plane. The paper's measurement campaigns ran
+// over flaky real-world cellular links — MEs dropped off, uploads
+// stalled mid-transfer, and the control plane had to tolerate all of it.
+// chaos reproduces that hostility on the loopback testbed so the fleet
+// layer can prove a stronger property than "it usually works": with
+// retries, redelivery and idempotent uploads in place, a chaos run must
+// ingest the *byte-identical* dataset a clean run does. Faults may cost
+// round trips, never data.
+//
+// # Fault model
+//
+// Client side (an http.RoundTripper wrapped around each ME's transport):
+//
+//   - latency spikes: the request stalls for a bounded random duration
+//   - connection reset before send: the request never reaches the server
+//   - connection reset after send: the server processed the request but
+//     the response is lost — the dangerous half-open failure that forces
+//     idempotency on the server
+//   - response truncation: the body is cut mid-stream, so decoding fails
+//   - duplicate delivery: the request is transparently sent twice, as a
+//     retrying middlebox would
+//
+// Server side (middleware in front of the control-server handler):
+//
+//   - 5xx storms: requests are rejected with 503 before processing
+//   - 429 storms: requests are shed with 429 + Retry-After
+//
+// ME lifecycle (decided by the fleet driver via MaybeCrash): mid-campaign
+// crash/restart — the ME process dies between task batches and is
+// restarted from scratch, replaying its schedule from its original rng
+// stream.
+//
+// # Determinism
+//
+// Every decision is drawn from a stateless labeled stream
+// (rng.Stream(seed, label)) whose label encodes the ME name, its
+// incarnation (restart count), the operation ("POST /v2/tasks/lease"),
+// and the per-operation wire attempt. An ME issues its requests
+// sequentially, so its label sequence — and therefore its fault
+// schedule — is a pure function of the seed, independent of worker
+// counts, GOMAXPROCS, or goroutine interleaving. Server-side storms key
+// on the same identity (carried in an X-Chaos-ME request header the
+// transport injects) with a per-(ME, op) counter, so they replay
+// identically too. Events() returns the full schedule in canonical
+// order; two runs at the same seed produce equal traces.
+//
+// The one escape hatch is the fleet driver's straggler watchdog: if it
+// fires (wall-clock timeouts, off by default in tests), the extra
+// incarnation changes the fault trace — but never the ingested dataset,
+// because replay + dedup make restarts data-free.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"roamsim/internal/rng"
+)
+
+// MEHeader carries the measurement endpoint's identity on chaos-wrapped
+// requests so server-side middleware can key its fault streams per ME.
+const MEHeader = "X-Chaos-ME"
+
+// Config sets per-decision fault probabilities. The zero value injects
+// nothing.
+type Config struct {
+	// ResetBefore is P(connection reset before the request is sent);
+	// the server never sees the request.
+	ResetBefore float64
+	// ResetAfter is P(connection reset after the server replied); the
+	// request took effect but the client sees a transport error.
+	ResetAfter float64
+	// Truncate is P(the response body is cut mid-stream) for responses
+	// that carry one.
+	Truncate float64
+	// Duplicate is P(the request is delivered twice back to back).
+	Duplicate float64
+	// LatencyProb is P(a latency spike stalls the request) for a
+	// duration uniform in [LatencyMin, LatencyMax].
+	LatencyProb            float64
+	LatencyMin, LatencyMax time.Duration
+	// Err5xx is P(the server middleware rejects the request with 503
+	// before processing it).
+	Err5xx float64
+	// Err429 is P(the server middleware sheds the request with 429 +
+	// Retry-After before processing it).
+	Err429 float64
+	// Crash is P(the ME crashes after completing a task batch),
+	// sampled once per batch round by the fleet driver.
+	Crash float64
+	// MaxCrashes caps injected crashes per ME (default 1 when Crash>0)
+	// so campaigns always terminate.
+	MaxCrashes int
+}
+
+// Light is a mild preset: occasional resets, latency and storms, one
+// crash allowed per ME.
+func Light() Config {
+	return Config{
+		ResetBefore: 0.02, ResetAfter: 0.02, Truncate: 0.02, Duplicate: 0.03,
+		LatencyProb: 0.05, LatencyMin: 200 * time.Microsecond, LatencyMax: 2 * time.Millisecond,
+		Err5xx: 0.03, Err429: 0.02,
+		Crash: 0.05, MaxCrashes: 1,
+	}
+}
+
+// Heavy is a hostile preset: every fault kind at aggressive rates, two
+// crashes allowed per ME.
+func Heavy() Config {
+	return Config{
+		ResetBefore: 0.06, ResetAfter: 0.06, Truncate: 0.06, Duplicate: 0.08,
+		LatencyProb: 0.12, LatencyMin: 200 * time.Microsecond, LatencyMax: 3 * time.Millisecond,
+		Err5xx: 0.08, Err429: 0.05,
+		Crash: 0.15, MaxCrashes: 2,
+	}
+}
+
+func (c Config) maxCrashes() int {
+	if c.MaxCrashes > 0 {
+		return c.MaxCrashes
+	}
+	if c.Crash > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Event is one injected fault. The trace of all events in canonical
+// order is the campaign's fault schedule.
+type Event struct {
+	ME      string `json:"me"`
+	Inc     int    `json:"inc"`     // ME incarnation (0 = first run)
+	Op      string `json:"op"`      // "POST /v2/results", "crash", ...
+	Attempt int    `json:"attempt"` // per-(ME, op) wire attempt / batch round
+	Fault   string `json:"fault"`   // "reset-before", "truncate", "503", ...
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s#%d %s attempt=%d %s", e.ME, e.Inc, e.Op, e.Attempt, e.Fault)
+}
+
+// Injector derives and records one campaign's fault schedule. One
+// Injector serves every ME transport and the server middleware, so a
+// single seed governs the whole run.
+type Injector struct {
+	seed int64
+	cfg  Config
+
+	mu      sync.Mutex
+	events  []Event
+	meSeq   map[string]int // per-ME append order, for canonical sorting
+	crashes map[string]int // injected crashes so far, per ME
+	mwSeen  map[string]int // per-(ME, op) middleware attempt counters
+}
+
+// NewInjector returns an Injector for the given seed and fault config.
+func NewInjector(seed int64, cfg Config) *Injector {
+	return &Injector{
+		seed: seed, cfg: cfg,
+		meSeq:   map[string]int{},
+		crashes: map[string]int{},
+		mwSeen:  map[string]int{},
+	}
+}
+
+// Seed returns the fault-schedule seed.
+func (inj *Injector) Seed() int64 { return inj.seed }
+
+// Config returns the fault configuration.
+func (inj *Injector) Config() Config { return inj.cfg }
+
+func (inj *Injector) record(e Event) {
+	inj.mu.Lock()
+	inj.meSeq[e.ME]++
+	inj.events = append(inj.events, e)
+	inj.mu.Unlock()
+}
+
+// Events returns the fault schedule in canonical order: by ME, then by
+// the ME's own (sequential) event order. Because every decision is
+// keyed per ME, two runs at the same seed return equal traces no matter
+// how their goroutines interleaved.
+func (inj *Injector) Events() []Event {
+	inj.mu.Lock()
+	out := append([]Event(nil), inj.events...)
+	inj.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ME < out[j].ME })
+	return out
+}
+
+// TraceString renders the canonical fault schedule one event per line —
+// what the determinism tests diff and what -chaos runs can log for
+// replay debugging.
+func (inj *Injector) TraceString() string {
+	var b bytes.Buffer
+	for _, e := range inj.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaybeCrash decides whether the ME crashes after batch round (its
+// per-incarnation round counter). It draws from the stateless stream
+// for (me, inc, round), enforces the per-ME crash cap, and records the
+// event. The fleet driver calls this between task batches.
+func (inj *Injector) MaybeCrash(me string, inc, round int) bool {
+	if inj.cfg.Crash <= 0 {
+		return false
+	}
+	inj.mu.Lock()
+	budget := inj.crashes[me] < inj.cfg.maxCrashes()
+	inj.mu.Unlock()
+	if !budget {
+		return false
+	}
+	src := rng.Stream(inj.seed, fmt.Sprintf("chaos/crash/%s/%d/%d", me, inc, round))
+	if !src.Bool(inj.cfg.Crash) {
+		return false
+	}
+	inj.mu.Lock()
+	inj.crashes[me]++
+	inj.mu.Unlock()
+	inj.record(Event{ME: me, Inc: inc, Op: "crash", Attempt: round, Fault: "crash"})
+	return true
+}
+
+// Transport wraps base with client-side fault injection for one ME
+// incarnation. The returned RoundTripper is NOT safe for concurrent
+// use — an ME issues its requests sequentially, which is exactly what
+// keeps its fault schedule deterministic.
+func (inj *Injector) Transport(me string, inc int, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{inj: inj, me: me, inc: inc, base: base, attempts: map[string]int{}}
+}
+
+type transport struct {
+	inj      *Injector
+	me       string
+	inc      int
+	base     http.RoundTripper
+	attempts map[string]int // per-op wire attempts this incarnation
+}
+
+// faultError is the transport-level error chaos injects; it satisfies
+// net.Error-style temporariness only in the sense that callers are
+// expected to retry.
+type faultError struct{ msg string }
+
+func (e *faultError) Error() string { return e.msg }
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	cfg := t.inj.cfg
+	op := req.Method + " " + req.URL.Path
+	t.attempts[op]++
+	attempt := t.attempts[op]
+	src := rng.Stream(t.inj.seed, fmt.Sprintf("chaos/%s/%d/%s/%d", t.me, t.inc, op, attempt))
+
+	// Draw the whole decision vector up front in a fixed order so the
+	// schedule for (me, inc, op, attempt) is a pure function of the seed.
+	spike := src.Bool(cfg.LatencyProb)
+	spikeFor := time.Duration(src.Uniform(float64(cfg.LatencyMin), float64(cfg.LatencyMax)))
+	resetBefore := src.Bool(cfg.ResetBefore)
+	duplicate := src.Bool(cfg.Duplicate)
+	resetAfter := src.Bool(cfg.ResetAfter)
+	truncate := src.Bool(cfg.Truncate)
+	truncateAt := src.Float64()
+
+	ev := func(fault string) {
+		t.inj.record(Event{ME: t.me, Inc: t.inc, Op: op, Attempt: attempt, Fault: fault})
+	}
+
+	// Buffer the body so the request can be re-sent for duplicates.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		r.Header.Set(MEHeader, t.me)
+		return t.base.RoundTrip(r)
+	}
+
+	if spike && spikeFor > 0 {
+		ev("latency")
+		select {
+		case <-time.After(spikeFor):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if resetBefore {
+		ev("reset-before")
+		return nil, &faultError{fmt.Sprintf("chaos: connection reset before %s", op)}
+	}
+	resp, err := send()
+	if err != nil {
+		return nil, err
+	}
+	if duplicate {
+		ev("duplicate")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp, err = send(); err != nil {
+			return nil, err
+		}
+	}
+	if resetAfter {
+		ev("reset-after")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &faultError{fmt.Sprintf("chaos: connection reset awaiting response to %s", op)}
+	}
+	if truncate && resp.StatusCode == http.StatusOK {
+		full, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(full) > 0 {
+			ev("truncate")
+			cut := int(truncateAt * float64(len(full))) // strictly < len(full)
+			resp.Body = &truncatedBody{data: full[:cut]}
+			resp.ContentLength = int64(cut)
+		} else {
+			resp.Body = io.NopCloser(bytes.NewReader(full))
+		}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields its bytes and then fails with ErrUnexpectedEOF,
+// like a connection torn down mid-body.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// Middleware injects server-side 5xx/429 storms in front of next.
+// Requests without the MEHeader (operator/admin traffic, or clients not
+// under chaos) pass through untouched. Storm decisions key on the
+// request's (ME, op) and a per-pair counter, so — like the client-side
+// faults — the storm schedule is per-ME deterministic and replays
+// exactly for a given seed. Storms fire before next sees the request,
+// so a stormed request never has server-side effects.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	cfg := inj.cfg
+	if cfg.Err5xx <= 0 && cfg.Err429 <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		me := r.Header.Get(MEHeader)
+		if me == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		op := r.Method + " " + r.URL.Path
+		key := me + "|" + op
+		inj.mu.Lock()
+		inj.mwSeen[key]++
+		attempt := inj.mwSeen[key]
+		inj.mu.Unlock()
+		src := rng.Stream(inj.seed, fmt.Sprintf("chaos/mw/%s/%s/%d", me, op, attempt))
+		storm5xx := src.Bool(cfg.Err5xx)
+		storm429 := src.Bool(cfg.Err429)
+		switch {
+		case storm5xx:
+			inj.record(Event{ME: me, Op: "mw " + op, Attempt: attempt, Fault: "503"})
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "chaos: injected 503 storm", http.StatusServiceUnavailable)
+		case storm429:
+			inj.record(Event{ME: me, Op: "mw " + op, Attempt: attempt, Fault: "429"})
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "chaos: injected 429 storm", http.StatusTooManyRequests)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"roamsim/internal/geo"
+	"roamsim/internal/ipaddr"
+	"roamsim/internal/ipreg"
+	"roamsim/internal/netsim"
+)
+
+// fuzzRegistry covers the whole public IPv4 space with two halves plus
+// a finer /24, so most fuzz-decoded public addresses resolve and the
+// success path (not just the error paths) gets explored.
+func fuzzRegistry() *ipreg.Registry {
+	reg := ipreg.NewRegistry()
+	reg.RegisterAS(ipreg.AS{Number: 100, Org: "FuzzLow", Country: "PAK"})
+	reg.RegisterAS(ipreg.AS{Number: 200, Org: "FuzzHigh", Country: "DEU"})
+	reg.RegisterAS(ipreg.AS{Number: 300, Org: "FuzzFine", Country: "QAT"})
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("0.0.0.0/1"), 100, "Karachi", "PAK", geo.Point{})
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("128.0.0.0/1"), 200, "Berlin", "DEU", geo.Point{})
+	reg.MustRegisterPrefix(ipaddr.MustParsePrefix("65.66.67.0/24"), 300, "Doha", "QAT", geo.Point{})
+	return reg
+}
+
+// decodeTraceroute turns fuzz bytes into a traceroute: byte 0 is the
+// DestReached flag, then 6-byte hop records [flags, addr x4, rtt].
+func decodeTraceroute(data []byte) (netsim.TracerouteResult, bool) {
+	if len(data) < 1 {
+		return netsim.TracerouteResult{}, false
+	}
+	tr := netsim.TracerouteResult{DestReached: data[0]&1 == 1}
+	data = data[1:]
+	for i := 0; i+6 <= len(data) && i/6 < 64; i += 6 {
+		rec := data[i : i+6]
+		addr := ipaddr.Addr(uint32(rec[1])<<24 | uint32(rec[2])<<16 | uint32(rec[3])<<8 | uint32(rec[4]))
+		tr.Hops = append(tr.Hops, netsim.HopRecord{
+			TTL:       i/6 + 1,
+			Responded: rec[0]&1 == 1,
+			Addr:      addr,
+			BestRTTms: float64(rec[5]),
+		})
+	}
+	return tr, true
+}
+
+// FuzzDemarcate hammers the PGW demarcation with arbitrary hop lists.
+// Whatever the input, Demarcate must not panic, and on success its
+// derived metrics must satisfy the paper's invariants: hop counts
+// partition the path, PrivateFraction stays inside [0, 1] (RTTs decoded
+// here are never negative), and the ASN list is duplicate-free with a
+// matching count.
+func FuzzDemarcate(f *testing.F) {
+	// A canonical path: one private hop (10.0.0.1) then a registered
+	// public hop (65.66.67.1), dest reached.
+	f.Add([]byte("\x01\x01\x0a\x00\x00\x01\x05\x01\x41\x42\x43\x01\x09"))
+	// All-private path (silent CG-NAT): must yield ErrNoPublicHop.
+	f.Add([]byte("\x00\x01\x0a\x00\x00\x01\x05\x01\xc0\xa8\x01\x01\x07"))
+	// Unresponsive middle hop, CG-NAT 100.64/10 space, zero RTTs.
+	f.Add([]byte("\x01\x00\x64\x40\x00\x01\x00\x01\x08\x08\x08\x08\x00"))
+	f.Add([]byte{})
+	reg := fuzzRegistry()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, ok := decodeTraceroute(data)
+		if !ok {
+			return
+		}
+		pa, err := Demarcate(tr, reg)
+		if err != nil {
+			return // no public hop, or unregistered first hop: both legal
+		}
+		if pa.PrivateHops < 0 || pa.PublicHops < 1 {
+			t.Fatalf("hop counts: private=%d public=%d", pa.PrivateHops, pa.PublicHops)
+		}
+		if pa.PrivateHops+pa.PublicHops != len(tr.Hops) {
+			t.Fatalf("hop counts %d+%d do not partition %d hops",
+				pa.PrivateHops, pa.PublicHops, len(tr.Hops))
+		}
+		if pa.PrivateFraction < 0 || pa.PrivateFraction > 1 {
+			t.Fatalf("PrivateFraction = %v outside [0,1]", pa.PrivateFraction)
+		}
+		if pa.UniqueASNs != len(pa.ASNs) {
+			t.Fatalf("UniqueASNs = %d but len(ASNs) = %d", pa.UniqueASNs, len(pa.ASNs))
+		}
+		seen := map[ipreg.ASN]bool{}
+		for _, asn := range pa.ASNs {
+			if seen[asn] {
+				t.Fatalf("duplicate ASN %v in %v", asn, pa.ASNs)
+			}
+			seen[asn] = true
+		}
+	})
+}

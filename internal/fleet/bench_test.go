@@ -98,8 +98,9 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 		}
 	}
 	drainV2 := func(me string) error {
+		ack := 0 // v2 leases are at-least-once: ack the previous batch or it is re-delivered
 		for {
-			resp, err := post("/v2/tasks/lease", map[string]any{"me": me, "max": leaseBatch})
+			resp, err := post("/v2/tasks/lease", map[string]any{"me": me, "max": leaseBatch, "ack": ack})
 			if err != nil {
 				return err
 			}
@@ -112,6 +113,9 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 			finish(resp)
 			if err != nil {
 				return err
+			}
+			if n := len(tasks); n > 0 {
+				ack = tasks[n-1].ID
 			}
 			results := make([]amigo.Result, len(tasks))
 			for i, task := range tasks {

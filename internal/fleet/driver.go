@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +16,7 @@ import (
 
 	"roamsim/internal/airalo"
 	"roamsim/internal/amigo"
+	"roamsim/internal/chaos"
 	"roamsim/internal/rng"
 )
 
@@ -42,6 +45,24 @@ type Driver struct {
 	// ME's radio stream, so this must match between runs being
 	// compared.
 	Heartbeat bool
+	// Chaos, when set, injects deterministic faults: each ME's HTTP
+	// transport is wrapped per incarnation, retry jitter draws from an
+	// out-of-band stream keyed on the injector's seed, and MEs may
+	// crash between batches and replay their schedule. The server side
+	// must be wrapped with the same injector's Middleware. The
+	// ingested dataset is unchanged by chaos — faults cost retries,
+	// never data.
+	Chaos *chaos.Injector
+	// RestartBudget caps per-ME restarts — injected crashes plus
+	// straggler-watchdog kills — before the campaign errors out
+	// (default: the chaos config's crash cap + 3).
+	RestartBudget int
+	// Straggler, when positive, is the per-incarnation wall-clock
+	// watchdog: an ME stuck that long behind pathological faults is
+	// cancelled and restarted, consuming restart budget. A watchdog
+	// kill changes the fault trace (an extra incarnation) but never
+	// the dataset; it is an escape hatch, off by default.
+	Straggler time.Duration
 }
 
 // Stats summarizes one campaign run.
@@ -92,6 +113,22 @@ func (d *Driver) streamLabel() string {
 	return "fleet"
 }
 
+func (d *Driver) restartBudget() int {
+	if d.RestartBudget > 0 {
+		return d.RestartBudget
+	}
+	budget := 3
+	if d.Chaos != nil {
+		cfg := d.Chaos.Config()
+		crashes := cfg.MaxCrashes
+		if crashes == 0 && cfg.Crash > 0 {
+			crashes = 1
+		}
+		budget += crashes
+	}
+	return budget
+}
+
 // Run executes the plan: every ME registers, receives its schedule,
 // then leases, executes and uploads in batches until drained; finally
 // the uploaded results are fetched back from the server.
@@ -111,13 +148,14 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 	}
 	client := d.client()
 
-	// Pre-fork, then spawn: one child stream per ME, serially, in
-	// canonical schedule order (see internal/rng).
+	// Pre-fork, then spawn: one child SEED per ME, captured serially in
+	// canonical schedule order (see internal/rng). Storing the seed
+	// rather than the Source lets a crashed ME recreate its stream from
+	// the top and replay its schedule byte-identically.
 	parent := rng.New(d.Seed).Fork(d.streamLabel())
-	eps := make([]*amigo.Endpoint, len(scheds))
+	seeds := make([]int64, len(scheds))
 	for i, sc := range scheds {
-		eps[i] = amigo.NewEndpoint(sc.Name, d.BaseURL, w.Deployments[sc.ISO], parent.Fork(sc.Label))
-		eps[i].Client = client
+		seeds[i] = parent.ForkSeed(sc.Label)
 	}
 
 	startCursor, err := d.fetchCursor(client)
@@ -128,7 +166,7 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 	start := time.Now()
 	errs := make([]error, len(scheds))
 	runPool(d.workers(), len(scheds), func(i int) {
-		errs[i] = d.runME(client, eps[i], scheds[i])
+		errs[i] = d.runME(client, scheds[i], w.Deployments[scheds[i].ISO], seeds[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -154,27 +192,84 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 	return camp, nil
 }
 
-// runME is the per-ME lifecycle: register, receive the schedule,
-// optionally heartbeat, then lease/execute/upload until drained.
-func (d *Driver) runME(client *http.Client, ep *amigo.Endpoint, sc MESchedule) error {
-	if err := ep.Register(); err != nil {
-		return err
+// runME is the per-ME lifecycle with crash tolerance: run incarnations
+// until one drains the queue cleanly. An injected crash or a straggler
+// watchdog kill starts the next incarnation, which replays the full
+// schedule from a recreated rng stream; the schedule is only POSTed
+// once — later incarnations ask the server to re-deliver it instead, so
+// task IDs (and therefore idempotency keys) are stable across restarts.
+func (d *Driver) runME(client *http.Client, sc MESchedule, dep *airalo.Deployment, seed int64) error {
+	scheduled := false
+	for inc := 0; ; inc++ {
+		crashed, err := d.runIncarnation(client, sc, dep, seed, inc, &scheduled)
+		if err != nil {
+			if d.Straggler > 0 && errors.Is(err, context.DeadlineExceeded) && inc < d.restartBudget() {
+				continue // watchdog kill: reclaim the straggler, restart it
+			}
+			return err
+		}
+		if !crashed {
+			return nil
+		}
+		if inc+1 > d.restartBudget() {
+			return fmt.Errorf("fleet: %s exceeded restart budget (%d)", sc.Name, d.restartBudget())
+		}
 	}
-	if err := d.scheduleBatch(client, sc.Name, sc.Tasks); err != nil {
-		return err
+}
+
+// runIncarnation runs one ME lifetime: register, obtain the schedule
+// (POST it the first time, re-deliver it after a crash), optionally
+// heartbeat, then lease/execute/upload until drained. It reports
+// crashed=true when the chaos injector kills the ME between batches.
+func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.Deployment, seed int64, inc int, scheduled *bool) (crashed bool, err error) {
+	ctx := context.Background()
+	if d.Straggler > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.Straggler)
+		defer cancel()
+	}
+
+	// Recreating the stream from the stored seed makes every
+	// incarnation's draws — heartbeat vitals included — identical to the
+	// first run's, so replayed payloads are byte-identical and server
+	// dedup can drop them.
+	ep := amigo.NewEndpoint(sc.Name, d.BaseURL, dep, rng.New(seed))
+	ep.Client = client
+	ep.Ctx = ctx
+	if d.Chaos != nil {
+		// Fault injection wraps this incarnation's transport; retry
+		// jitter draws from a stateless out-of-band stream so backoff
+		// timing never perturbs the measurement stream.
+		ep.Client = &http.Client{Transport: d.Chaos.Transport(sc.Name, inc, client.Transport)}
+		ep.Retry.Jitter = rng.Stream(d.Chaos.Seed(), fmt.Sprintf("jitter/%s/%d", sc.Name, inc))
+	}
+
+	if err := ep.Register(); err != nil {
+		return false, err
+	}
+	if !*scheduled {
+		if err := d.scheduleBatch(client, sc.Name, sc.Tasks); err != nil {
+			return false, err
+		}
+		*scheduled = true
+	} else if err := ep.Redeliver(); err != nil {
+		return false, err
 	}
 	if d.Heartbeat {
 		if err := ep.Heartbeat(); err != nil {
-			return err
+			return false, err
 		}
 	}
-	for {
+	for round := 0; ; round++ {
 		n, err := ep.RunBatch(d.leaseBatch())
 		if err != nil {
-			return err
+			return false, err
 		}
 		if n == 0 {
-			return nil
+			return false, nil
+		}
+		if d.Chaos != nil && d.Chaos.MaybeCrash(sc.Name, inc, round) {
+			return true, nil
 		}
 	}
 }

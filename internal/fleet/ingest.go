@@ -86,16 +86,19 @@ type FailureRecord struct {
 // Ingest folds a campaign's uploaded results into a Dataset. Results
 // are first sorted by (ME, task ID) — per-ME IDs are monotonic in
 // schedule order, so this is the canonical order no matter how uploads
-// interleaved — and server-assigned fields (task IDs, upload stamps)
-// are dropped, making the dataset byte-identical across worker counts
-// for a fixed seed.
+// interleaved — then deduplicated on (ME, task ID): a crash-replayed or
+// double-delivered upload that slipped past the server's idempotency
+// keys contributes only its first (arrival-order) copy. Finally
+// server-assigned fields (task IDs, upload stamps) are dropped, making
+// the dataset byte-identical across worker counts — and across chaos
+// configurations — for a fixed seed.
 func Ingest(reg *ipreg.Registry, c *Campaign) (*Dataset, error) {
 	meISO := make(map[string]string, len(c.Schedules))
 	for _, sc := range c.Schedules {
 		meISO[sc.Name] = sc.ISO
 	}
 	rs := append([]amigo.Result(nil), c.Results...)
-	sort.Slice(rs, func(i, j int) bool {
+	sort.SliceStable(rs, func(i, j int) bool {
 		if rs[i].ME != rs[j].ME {
 			return rs[i].ME < rs[j].ME
 		}
@@ -103,7 +106,10 @@ func Ingest(reg *ipreg.Registry, c *Campaign) (*Dataset, error) {
 	})
 
 	ds := &Dataset{}
-	for _, res := range rs {
+	for i, res := range rs {
+		if i > 0 && res.ME == rs[i-1].ME && res.TaskID == rs[i-1].TaskID {
+			continue // duplicate upload of the same task
+		}
 		iso, ok := meISO[res.ME]
 		if !ok {
 			return nil, fmt.Errorf("fleet: result from ME %q outside the campaign", res.ME)

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"roamsim/internal/amigo"
+)
+
+// mkDNSResult fabricates an uploaded DNS result with a payload that
+// encodes its identity, so tests can see WHICH copy of a duplicate
+// survived ingestion.
+func mkDNSResult(me string, taskID int, resolver string) amigo.Result {
+	p, _ := json.Marshal(amigo.DNSPayload{Resolver: resolver, City: "X", Country: "Y", DurationMs: 1})
+	return amigo.Result{TaskID: taskID, ME: me, Kind: "dns", Config: "esim", OK: true,
+		Payload: p, Uploaded: time.Unix(int64(taskID), 0)}
+}
+
+func ingestCampaign(t *testing.T, scheds []MESchedule, results []amigo.Result) (*Dataset, error) {
+	t.Helper()
+	w := testWorld(t)
+	return Ingest(w.Reg, &Campaign{Schedules: scheds, Results: results})
+}
+
+// TestIngestEdgeCases table-drives the folder over the control-plane
+// edge cases a faulty fleet produces: duplicate (ME, task) uploads,
+// out-of-order result pages, empty campaigns, and strays.
+func TestIngestEdgeCases(t *testing.T) {
+	scheds := []MESchedule{
+		{Name: "me-A", ISO: "PAK"},
+		{Name: "me-B", ISO: "DEU"},
+	}
+	cases := []struct {
+		name    string
+		results []amigo.Result
+		wantDNS []string // resolver markers, in canonical order
+		wantErr string
+	}{
+		{
+			name:    "empty campaign",
+			results: nil,
+			wantDNS: nil,
+		},
+		{
+			name: "duplicate uploads keep first arrival",
+			results: []amigo.Result{
+				mkDNSResult("me-A", 1, "first"),
+				mkDNSResult("me-A", 1, "replayed"), // crash replay of the same task
+				mkDNSResult("me-A", 2, "two"),
+			},
+			wantDNS: []string{"first", "two"},
+		},
+		{
+			name: "out of order pages canonicalize",
+			results: []amigo.Result{
+				mkDNSResult("me-B", 4, "b4"),
+				mkDNSResult("me-A", 2, "a2"),
+				mkDNSResult("me-B", 3, "b3"),
+				mkDNSResult("me-A", 1, "a1"),
+			},
+			wantDNS: []string{"a1", "a2", "b3", "b4"},
+		},
+		{
+			name: "interleaved duplicates across MEs",
+			results: []amigo.Result{
+				mkDNSResult("me-B", 7, "b7"),
+				mkDNSResult("me-A", 7, "a7"),
+				mkDNSResult("me-B", 7, "b7-dup"),
+				mkDNSResult("me-A", 8, "a8"),
+				mkDNSResult("me-A", 7, "a7-dup"),
+			},
+			wantDNS: []string{"a7", "a8", "b7"},
+		},
+		{
+			name:    "stray ME rejected",
+			results: []amigo.Result{mkDNSResult("me-ghost", 1, "x")},
+			wantErr: "outside the campaign",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds, err := ingestCampaign(t, scheds, c.results)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for _, r := range ds.DNS {
+				got = append(got, r.Payload.Resolver)
+			}
+			if len(got) != len(c.wantDNS) {
+				t.Fatalf("DNS records = %v, want %v", got, c.wantDNS)
+			}
+			for i := range got {
+				if got[i] != c.wantDNS[i] {
+					t.Fatalf("DNS records = %v, want %v", got, c.wantDNS)
+				}
+			}
+		})
+	}
+}
+
+// TestIngestEmptyCampaignRenders: the renderers must cope with a
+// campaign that uploaded nothing (every ME crashed out, or the plan was
+// empty) without panicking.
+func TestIngestEmptyCampaignRenders(t *testing.T) {
+	ds, err := ingestCampaign(t, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan{Countries: []string{"PAK"}}
+	if got := Table4(ds, plan).String(); got == "" {
+		t.Error("Table4 of empty dataset rendered nothing")
+	}
+	if got := RTTSummary(ds, plan).String(); got == "" {
+		t.Error("RTTSummary of empty dataset rendered nothing")
+	}
+}
+
+// TestIngestShuffleInvariance: ingesting any permutation of the same
+// results yields the byte-identical dataset — the property the fleet's
+// paged, interleaved uploads rely on.
+func TestIngestShuffleInvariance(t *testing.T) {
+	scheds := []MESchedule{{Name: "me-A", ISO: "PAK"}, {Name: "me-B", ISO: "DEU"}}
+	results := []amigo.Result{
+		mkDNSResult("me-A", 1, "a1"), mkDNSResult("me-A", 2, "a2"),
+		mkDNSResult("me-B", 1, "b1"), mkDNSResult("me-B", 2, "b2"),
+		{TaskID: 3, ME: "me-A", Kind: "dns", Config: "esim", OK: false, Error: "radio lost"},
+	}
+	var baseline []byte
+	perms := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 4, 0, 3, 1}}
+	for _, perm := range perms {
+		shuffled := make([]amigo.Result, len(results))
+		for i, j := range perm {
+			shuffled[i] = results[j]
+		}
+		ds, err := ingestCampaign(t, scheds, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Failures) != 1 || ds.Failures[0].Error != "radio lost" {
+			t.Fatalf("failures = %+v", ds.Failures)
+		}
+		blob, _ := json.Marshal(ds)
+		if baseline == nil {
+			baseline = blob
+		} else if !bytes.Equal(blob, baseline) {
+			t.Fatalf("dataset differs for permutation %v", perm)
+		}
+	}
+}

@@ -51,10 +51,34 @@ func New(seed int64) *Source {
 // calls matters: fork serially in a canonical order before handing
 // children to goroutines (see the package doc).
 func (s *Source) Fork(label string) *Source {
+	return New(s.ForkSeed(label))
+}
+
+// ForkSeed consumes one parent draw and returns the seed Fork(label)
+// would have built its child from: New(ForkSeed(label)) is exactly
+// Fork(label). Callers that may need to recreate a child stream later —
+// e.g. to replay a crashed measurement endpoint from the top — store the
+// seed instead of the (non-copyable) Source.
+func (s *Source) ForkSeed(label string) int64 {
+	return labelHash(label) ^ s.r.Int63()
+}
+
+// Stream derives a deterministic Source from (seed, label) without any
+// parent state: the same pair always yields the same stream, and calls
+// are independent of each other, so Stream is safe to invoke from any
+// goroutine at any time. This is the out-of-band escape hatch for
+// randomness that must not perturb the forked measurement streams —
+// fault-injection schedules and retry jitter draw from Stream so that a
+// chaos run and a clean run consume identical draws from every Fork'd
+// stream.
+func Stream(seed int64, label string) *Source {
+	return New(labelHash(label) ^ seed)
+}
+
+func labelHash(label string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(label))
-	mix := int64(h.Sum64()) ^ s.r.Int63()
-	return New(mix)
+	return int64(h.Sum64())
 }
 
 // ForkN pre-forks n children labeled "label/0" … "label/n-1" in one

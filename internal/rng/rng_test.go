@@ -229,3 +229,40 @@ func TestJitterBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestForkSeedMatchesFork(t *testing.T) {
+	// New(ForkSeed(label)) must reproduce Fork(label) exactly — the
+	// replay path (crashed MEs restarting from a stored seed) depends
+	// on it — and both must consume exactly one parent draw.
+	a, b := New(99), New(99)
+	seed := a.ForkSeed("me-PAK")
+	forked := b.Fork("me-PAK")
+	replayed := New(seed)
+	for i := 0; i < 100; i++ {
+		if forked.Float64() != replayed.Float64() {
+			t.Fatalf("replayed stream diverged at draw %d", i)
+		}
+	}
+	// Parents stayed in lockstep (same number of draws consumed).
+	if a.Float64() != b.Float64() {
+		t.Error("ForkSeed and Fork consumed different parent draws")
+	}
+}
+
+func TestStreamIsStatelessAndLabeled(t *testing.T) {
+	// Same (seed, label) — same stream, regardless of what else was
+	// derived in between.
+	x := Stream(7, "chaos/me-PAK/0")
+	_ = Stream(7, "something/else")
+	y := Stream(7, "chaos/me-PAK/0")
+	for i := 0; i < 50; i++ {
+		if x.Float64() != y.Float64() {
+			t.Fatalf("Stream not deterministic at draw %d", i)
+		}
+	}
+	// Different labels and different seeds diverge.
+	if Stream(7, "a").Float64() == Stream(7, "b").Float64() &&
+		Stream(7, "a").Float64() == Stream(8, "a").Float64() {
+		t.Error("Stream streams are not independent")
+	}
+}
