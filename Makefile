@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-fleet chaos-smoke fuzz-short
+.PHONY: verify vet build test race bench bench-fleet chaos-smoke metrics-smoke fuzz-short
 
 ## verify: the CI entry point — vet, build, race-enabled tests, a
-## one-iteration fleet throughput smoke (v1 vs v2 protocol paths), and
-## the chaos differential suite under the race detector.
-verify: vet build race bench-fleet chaos-smoke
+## one-iteration fleet throughput smoke (v1 vs v2 protocol paths), the
+## chaos differential suite under the race detector, and the
+## observability endpoint smoke.
+verify: vet build race bench-fleet chaos-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,12 @@ bench-fleet:
 chaos-smoke:
 	$(GO) test -race -run 'TestFleetChaos|TestChaos' ./internal/fleet
 	$(GO) test -race ./internal/chaos
+
+## metrics-smoke: boot a real amigo-server, scrape /admin/metrics, and
+## assert a non-empty, parseable Prometheus exposition that reflects
+## live server state.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 ## fuzz-short: a 10s budget per native fuzz target, on top of the
 ## checked-in seed corpora (which always run as part of plain `go test`).

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	amigo-server [-addr :8080]
+//	amigo-server [-addr :8080] [-pprof]
 //
 // Schedule tasks by POSTing to /admin/schedule, either the legacy
 // single-kind form or a task batch:
@@ -22,6 +22,12 @@
 // stream only new uploads. cursor=-1 peeks at the current cursor
 // without returning results.
 //
+// Observability: /admin/metrics serves control-plane metrics (request
+// counts and latencies per route, lease/ack/redelivery/dedup counters,
+// spool depth) in Prometheus text format, and /admin/trace?n=K serves
+// the newest trace events as JSON. -pprof additionally mounts the
+// net/http/pprof profiling handlers under /debug/pprof/.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: new requests are
 // rejected with 503 + Retry-After (so well-behaved MEs back off and
 // retry against the replacement server) while in-flight uploads drain.
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"roamsim/internal/amigo"
+	"roamsim/internal/obs"
 )
 
 // drainGate rejects requests with 503 + Retry-After once draining is
@@ -63,14 +71,23 @@ func (g *drainGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
-	srv := amigo.NewServer(nil)
+	reg := obs.NewRegistry()
+	srv := amigo.NewServer(nil, amigo.WithObs(reg))
 	mux := http.NewServeMux()
 	h := srv.Handler()
 	mux.Handle("/v1/", h)
 	mux.Handle("/v2/", h)
 	mux.Handle("/admin/", srv.AdminHandler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	gate := &drainGate{next: mux}
 
 	hs := &http.Server{

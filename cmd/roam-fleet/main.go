@@ -14,7 +14,14 @@
 //	roam-fleet [-server URL] [-mes N] [-countries GEO,DEU,...] [-seed N]
 //	           [-workers N] [-lease K] [-reps N] [-configs sim,esim]
 //	           [-crosscheck] [-chaos light|heavy] [-chaos-seed N]
-//	           [-straggler DUR]
+//	           [-straggler DUR] [-metrics]
+//
+// With -metrics the whole stack is instrumented — control server,
+// driver, every ME endpoint, and the network simulator's route cache —
+// and the full Prometheus exposition is dumped to stdout at the end of
+// the run. The self-hosted server also serves it live at
+// /admin/metrics. Metrics never change the dataset: for a fixed seed
+// the output is byte-identical with or without -metrics.
 //
 // With -crosscheck the same plan is also run serially in-process over
 // the v1 protocol and the two Table 4 / RTT renderings are compared;
@@ -44,6 +51,7 @@ import (
 	"roamsim/internal/amigo"
 	"roamsim/internal/chaos"
 	"roamsim/internal/fleet"
+	"roamsim/internal/obs"
 )
 
 func main() {
@@ -59,6 +67,7 @@ func main() {
 	chaosMode := flag.String("chaos", "", "inject deterministic faults: \"light\" or \"heavy\" (empty = off)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (0 = use -seed); same seed replays the same faults")
 	straggler := flag.Duration("straggler", 0, "per-ME-incarnation watchdog; a stuck ME is killed and restarted (0 = off)")
+	metrics := flag.Bool("metrics", false, "instrument the run and dump the Prometheus exposition to stdout at the end")
 	flag.Parse()
 
 	plan := fleet.DeviceCampaignPlan()
@@ -92,9 +101,15 @@ func main() {
 		fatal(fmt.Errorf("unknown -chaos mode %q (want light or heavy)", *chaosMode))
 	}
 
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		fleet.RegisterNetObs(reg, w.Net)
+	}
+
 	baseURL := *server
 	if baseURL == "" {
-		url, shutdown, err := selfHost(inj)
+		url, shutdown, err := selfHost(inj, reg)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,6 +127,7 @@ func main() {
 		Heartbeat:   true,
 		Chaos:       inj,
 		Straggler:   *straggler,
+		Obs:         reg,
 	}
 	camp, err := d.Run(w, plan)
 	if err != nil {
@@ -133,6 +149,14 @@ func main() {
 	fmt.Println()
 	fmt.Println(fleet.Table4(ds, camp.Plan).String())
 	fmt.Println(fleet.RTTSummary(ds, camp.Plan).String())
+
+	if reg != nil {
+		fmt.Println("# metrics (Prometheus text exposition)")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
 
 	if *crosscheck {
 		inproc, err := fleet.RunInProcess(w, plan, *seed, "table4", true)
@@ -162,13 +186,14 @@ func main() {
 // selfHost starts an AmiGo control server on an ephemeral loopback port
 // and returns its base URL plus a shutdown func. A non-nil injector
 // wraps the handler with server-side storm middleware (admin traffic
-// carries no chaos header and passes through untouched).
-func selfHost(inj *chaos.Injector) (string, func(), error) {
+// carries no chaos header and passes through untouched); a non-nil
+// registry instruments the server and is served at /admin/metrics.
+func selfHost(inj *chaos.Injector, reg *obs.Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	srv := amigo.NewServer(nil)
+	srv := amigo.NewServer(nil, amigo.WithObs(reg))
 	mux := http.NewServeMux()
 	h := srv.Handler()
 	mux.Handle("/v1/", h)

@@ -8,13 +8,16 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"roamsim/internal/airalo"
 	"roamsim/internal/measure"
 	"roamsim/internal/mno"
+	"roamsim/internal/obs"
 	"roamsim/internal/rng"
 	"roamsim/internal/video"
 )
@@ -89,9 +92,90 @@ type Endpoint struct {
 	// fleet driver's straggler watchdog cancels it to reclaim an ME
 	// stuck behind pathological faults.
 	Ctx context.Context
+	// Obs, when set, records client-side metrics: per-path request
+	// counts, retries and give-ups, 429 backpressure hits, connection
+	// reuse vs churn, and per-kind task execution histograms. It must
+	// be set before the first operation; instrumentation never touches
+	// the measurement rng, so datasets are identical with or without it.
+	Obs *obs.Registry
 
 	battery float64
 	acked   int // highest task ID leased so far (v2 ack cursor)
+
+	metOnce sync.Once
+	met     epMetrics
+}
+
+// epMetrics caches the endpoint's metric handles so the request path
+// never takes the registry lock; all handles are nil no-ops when no
+// registry is attached.
+type epMetrics struct {
+	requests map[string]*obs.Counter   // per control-plane path
+	other    *obs.Counter              // fallback for unexpected paths
+	c429     *obs.Counter              // 429 backpressure responses seen
+	exec     map[string]*obs.Histogram // task execution time per kind
+	// connTrace observes connection reuse (nil without a registry, so
+	// the uninstrumented path allocates nothing per request).
+	connTrace *httptrace.ClientTrace
+}
+
+var (
+	epPaths = []string{
+		"/v1/register", "/v1/status", "/v1/tasks", "/v1/results",
+		"/v2/tasks/lease", "/v2/tasks/requeue", "/v2/results",
+	}
+	taskKinds = []string{"speedtest", "mtr", "cdn", "dns", "video", "other"}
+)
+
+// metrics lazily builds the handle cache. Lazy because the fleet driver
+// attaches Obs after construction; Once because handles must be built
+// exactly once even with concurrent first calls.
+func (e *Endpoint) metrics() *epMetrics {
+	e.metOnce.Do(func() {
+		m := &e.met
+		m.requests = make(map[string]*obs.Counter, len(epPaths))
+		for _, p := range epPaths {
+			m.requests[p] = e.Obs.Counter("amigo_endpoint_requests_total", obs.L("path", p))
+		}
+		m.other = e.Obs.Counter("amigo_endpoint_requests_total", obs.L("path", "other"))
+		m.c429 = e.Obs.Counter("amigo_endpoint_backpressure_429_total")
+		m.exec = make(map[string]*obs.Histogram, len(taskKinds))
+		for _, k := range taskKinds {
+			m.exec[k] = e.Obs.Histogram("amigo_endpoint_task_exec_ms", obs.L("kind", k))
+		}
+		if e.Obs != nil {
+			connNew := e.Obs.Counter("amigo_endpoint_connections_total", obs.L("reused", "false"))
+			connReused := e.Obs.Counter("amigo_endpoint_connections_total", obs.L("reused", "true"))
+			m.connTrace = &httptrace.ClientTrace{
+				GotConn: func(info httptrace.GotConnInfo) {
+					if info.Reused {
+						connReused.Add(1)
+					} else {
+						connNew.Add(1)
+					}
+				},
+			}
+		}
+	})
+	return &e.met
+}
+
+func (m *epMetrics) request(path string) {
+	if c, ok := m.requests[path]; ok {
+		c.Add(1)
+		return
+	}
+	m.other.Add(1)
+}
+
+// reqContext is the request context, instrumented to observe connection
+// reuse when a registry is attached.
+func (e *Endpoint) reqContext() context.Context {
+	ctx := e.ctx()
+	if t := e.metrics().connTrace; t != nil {
+		ctx = httptrace.WithClientTrace(ctx, t)
+	}
+	return ctx
 }
 
 // NewEndpoint creates an ME bound to a deployment.
@@ -140,6 +224,7 @@ func (e *Endpoint) retry(op string, attempt func() (done bool, hint time.Duratio
 	var lastHint time.Duration
 	for i := 0; i < b.MaxAttempts; i++ {
 		if i > 0 {
+			e.Obs.Counter("amigo_endpoint_retries_total", obs.L("op", op)).Add(1)
 			if err := e.sleep(b.delay(i-1, lastHint)); err != nil {
 				return err
 			}
@@ -153,6 +238,8 @@ func (e *Endpoint) retry(op string, attempt func() (done bool, hint time.Duratio
 			return ctxErr
 		}
 	}
+	e.Obs.Counter("amigo_endpoint_retry_giveups_total", obs.L("op", op)).Add(1)
+	e.Obs.Trace().Record("retry-giveup", obs.L("me", e.Name), obs.L("op", op))
 	return fmt.Errorf("amigo: %s: giving up after %d attempts: %w", op, b.MaxAttempts, lastErr)
 }
 
@@ -163,12 +250,18 @@ func retryableStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code >= 500
 }
 
-// drainClose discards any unread body bytes before closing, so the
-// underlying connection goes back into the keep-alive pool instead of
-// being torn down (a fleet of MEs would otherwise churn one TCP
-// connection per request).
+// drainLimit bounds how many leftover body bytes drainClose will read
+// to recycle a connection. Control-plane responses are tiny; a body
+// bigger than this (a confused proxy, a fault-truncated stream that
+// never ends) is cheaper to abandon than to drain.
+const drainLimit = 256 << 10
+
+// drainClose discards any unread body bytes (up to drainLimit) before
+// closing, so the underlying connection goes back into the keep-alive
+// pool instead of being torn down (a fleet of MEs would otherwise churn
+// one TCP connection per request).
 func drainClose(resp *http.Response) {
-	io.Copy(io.Discard, resp.Body)
+	io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit))
 	resp.Body.Close()
 }
 
@@ -199,7 +292,7 @@ func (e *Endpoint) postResp(path string, body any, header map[string]string) (*h
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(e.ctx(), http.MethodPost, e.BaseURL+path, bytes.NewReader(buf))
+	req, err := http.NewRequestWithContext(e.reqContext(), http.MethodPost, e.BaseURL+path, bytes.NewReader(buf))
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +300,13 @@ func (e *Endpoint) postResp(path string, body any, header map[string]string) (*h
 	for k, v := range header {
 		req.Header.Set(k, v)
 	}
-	return e.httpClient().Do(req)
+	m := e.metrics()
+	m.request(path)
+	resp, err := e.httpClient().Do(req)
+	if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+		m.c429.Add(1)
+	}
+	return resp, err
 }
 
 // Register announces the ME to the control server.
@@ -236,25 +335,34 @@ func (e *Endpoint) Heartbeat() error {
 // RunOnce polls for one task, executes it, and uploads the result.
 // It returns false when the queue is empty.
 func (e *Endpoint) RunOnce() (bool, error) {
-	req, err := http.NewRequestWithContext(e.ctx(), http.MethodGet,
+	req, err := http.NewRequestWithContext(e.reqContext(), http.MethodGet,
 		e.BaseURL+"/v1/tasks?me="+url.QueryEscape(e.Name), nil)
 	if err != nil {
 		return false, err
 	}
+	e.metrics().request("/v1/tasks")
 	resp, err := e.httpClient().Do(req)
 	if err != nil {
 		return false, err
 	}
-	defer drainClose(resp)
 	switch resp.StatusCode {
 	case http.StatusNoContent:
+		drainClose(resp)
 		return false, nil
 	case http.StatusOK:
 	default:
-		return false, fmt.Errorf("amigo: tasks: HTTP %d", resp.StatusCode)
+		code := resp.StatusCode
+		drainClose(resp)
+		return false, fmt.Errorf("amigo: tasks: HTTP %d", code)
 	}
 	var task Task
-	if err := json.NewDecoder(resp.Body).Decode(&task); err != nil {
+	err = json.NewDecoder(resp.Body).Decode(&task)
+	// Drain now, not after the task runs: a deferred close would pin
+	// the connection out of the keep-alive pool for the whole task
+	// execution plus the result upload, forcing the next poll onto a
+	// fresh dial.
+	drainClose(resp)
+	if err != nil {
 		return false, err
 	}
 	result := e.Execute(task)
@@ -396,6 +504,18 @@ func (e *Endpoint) RunBatch(max int) (int, error) {
 
 // Execute runs the instrumentation for a task against the right session.
 func (e *Endpoint) Execute(task Task) Result {
+	m := e.metrics()
+	h, ok := m.exec[task.Kind]
+	if !ok {
+		h = m.exec["other"]
+	}
+	start := time.Now()
+	res := e.execute(task)
+	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return res
+}
+
+func (e *Endpoint) execute(task Task) Result {
 	res := Result{TaskID: task.ID, ME: e.Name, Kind: task.Kind, Config: task.Config}
 	session, err := e.attach(task.Config)
 	if err != nil {

@@ -61,9 +61,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"roamsim/internal/obs"
 )
 
 // Vitals are the device-health metrics an ME reports with heartbeats.
@@ -148,6 +151,26 @@ type Server struct {
 
 	idemMu   sync.Mutex
 	idemSeen map[string]struct{}
+
+	// obs is the optional metrics/trace registry (see WithObs). All
+	// metric handles below are nil-safe no-ops when obs is nil, so the
+	// serving path carries no "is observability enabled" branches.
+	obs *obs.Registry
+	met serverMetrics
+}
+
+// serverMetrics are the control-plane counters, created once at
+// construction so the request path touches only atomics (never the
+// registry lock).
+type serverMetrics struct {
+	scheduled     *obs.Counter // tasks queued via Schedule/ScheduleBatch
+	leased        *obs.Counter // fresh task deliveries (v1 + v2)
+	redelivered   *obs.Counter // unacked v2 tasks re-sent after a lost response
+	acked         *obs.Counter // v2 tasks retired by a lease ack
+	requeued      *obs.Counter // tasks restored by /v2/tasks/requeue
+	submitted     *obs.Counter // results accepted into the spool
+	dedupDropped  *obs.Counter // duplicate idempotency-key batches dropped
+	spoolRejected *obs.Counter // batches shed with 429 (spool full)
 }
 
 // Option configures a Server.
@@ -187,6 +210,18 @@ func WithRetryAfter(d time.Duration) Option {
 	return func(s *Server) { s.retryAfter = d }
 }
 
+// WithObs attaches a metrics/trace registry: per-route request counts
+// and latency histograms, lease/ack/redelivery/dedup counters, and
+// spool gauges are recorded into it, and AdminHandler serves it at
+// GET /admin/metrics (Prometheus text format) and GET /admin/trace.
+// Without it the server collects nothing and the admin routes serve an
+// empty exposition. Instrumentation is off the hot path — counters are
+// single atomics created up front — and never perturbs determinism:
+// campaign datasets are byte-identical with metrics on or off.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) { s.obs = reg }
+}
+
 // NewServer returns a control server. clock may be nil (wall clock).
 func NewServer(clock func() time.Time, opts ...Option) *Server {
 	if clock == nil {
@@ -208,7 +243,25 @@ func NewServer(clock func() time.Time, opts ...Option) *Server {
 	for i := range s.shards {
 		s.shards[i].mes = map[string]*meState{}
 	}
+	s.initObs()
 	return s
+}
+
+// initObs creates the metric handles (nil no-ops when no registry is
+// attached) and registers the liveness gauges.
+func (s *Server) initObs() {
+	s.met = serverMetrics{
+		scheduled:     s.obs.Counter("amigo_server_tasks_scheduled_total"),
+		leased:        s.obs.Counter("amigo_server_leased_tasks_total"),
+		redelivered:   s.obs.Counter("amigo_server_redelivered_tasks_total"),
+		acked:         s.obs.Counter("amigo_server_acked_tasks_total"),
+		requeued:      s.obs.Counter("amigo_server_requeued_tasks_total"),
+		submitted:     s.obs.Counter("amigo_server_results_submitted_total"),
+		dedupDropped:  s.obs.Counter("amigo_server_dedup_dropped_batches_total"),
+		spoolRejected: s.obs.Counter("amigo_server_spool_rejections_total"),
+	}
+	s.obs.GaugeFunc("amigo_server_spool_depth", func() float64 { return float64(s.SpoolDepth()) })
+	s.obs.GaugeFunc("amigo_server_registered_mes", func() float64 { return float64(len(s.MEs())) })
 }
 
 func (s *Server) shardFor(me string) *registryShard {
@@ -253,6 +306,7 @@ func (s *Server) ScheduleBatch(me string, tasks []Task) ([]int, error) {
 		st.queue = append(st.queue, t)
 		ids[i] = t.ID
 	}
+	s.met.scheduled.Add(int64(len(tasks)))
 	return ids, nil
 }
 
@@ -276,6 +330,7 @@ func (s *Server) Lease(me string, max int) ([]Task, error) {
 	if len(st.queue) == 0 {
 		st.queue = nil // release the drained backing array
 	}
+	s.met.leased.Add(int64(n))
 	return leased, nil
 }
 
@@ -301,10 +356,12 @@ func (s *Server) LeaseAck(me string, max, ack int) ([]Task, error) {
 	for len(st.outstanding) > 0 && st.outstanding[0].ID <= ack {
 		st.done = append(st.done, st.outstanding[0])
 		st.outstanding = st.outstanding[1:]
+		s.met.acked.Add(1)
 	}
 	if len(st.outstanding) > 0 {
 		// Unacked deliveries: the previous response was lost — re-deliver.
 		n := min(max, len(st.outstanding))
+		s.met.redelivered.Add(int64(n))
 		return append([]Task(nil), st.outstanding[:n]...), nil
 	}
 	n := min(max, len(st.queue))
@@ -314,6 +371,7 @@ func (s *Server) LeaseAck(me string, max, ack int) ([]Task, error) {
 	if len(st.queue) == 0 {
 		st.queue = nil
 	}
+	s.met.leased.Add(int64(n))
 	return leased, nil
 }
 
@@ -341,6 +399,8 @@ func (s *Server) Requeue(me string) (int, error) {
 	q = append(q, st.queue...)
 	st.queue = q
 	st.done, st.outstanding = nil, nil
+	s.met.requeued.Add(int64(restored))
+	s.obs.Trace().Record("requeue", obs.L("me", me), obs.L("restored", strconv.Itoa(restored)))
 	return restored, nil
 }
 
@@ -361,11 +421,14 @@ func (s *Server) Submit(batch []Result) error {
 	s.spoolMu.Lock()
 	if len(s.spool)+len(stamped) > s.spoolCap {
 		s.spoolMu.Unlock()
+		s.met.spoolRejected.Add(1)
+		s.obs.Trace().Record("spool-full", obs.L("batch", strconv.Itoa(len(stamped))))
 		return ErrSpoolFull
 	}
 	s.spool = append(s.spool, stamped...)
 	s.spoolMu.Unlock()
 	s.drain()
+	s.met.submitted.Add(int64(len(stamped)))
 	return nil
 }
 
@@ -386,6 +449,7 @@ func (s *Server) SubmitKeyed(key string, batch []Result) error {
 	_, dup := s.idemSeen[key]
 	s.idemMu.Unlock()
 	if dup {
+		s.met.dedupDropped.Add(1)
 		return nil
 	}
 	if err := s.Submit(batch); err != nil {
@@ -486,11 +550,85 @@ func (s *Server) rejectBusy(w http.ResponseWriter) {
 	http.Error(w, "result spool full", http.StatusTooManyRequests)
 }
 
+// statusWriter captures the response status code for route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code for the request counter. 429 gets
+// its own class — it is the backpressure signal, not a generic client
+// error — and everything else collapses to a class to bound cardinality.
+func statusClass(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return "429"
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// requestClasses are the pre-created status classes per route.
+var requestClasses = []string{"2xx", "3xx", "4xx", "429", "5xx"}
+
+// instrument registers a route with per-route request counters and a
+// latency histogram. All handles are created here, at mux construction,
+// so the request path adds one clock read, one atomic counter bump and
+// one histogram shard lock. With no registry attached the handler is
+// registered bare.
+func (s *Server) instrument(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	if s.obs == nil {
+		mux.HandleFunc(pattern, h)
+		return
+	}
+	route := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		route = pattern[i+1:]
+	}
+	byClass := make(map[string]*obs.Counter, len(requestClasses))
+	for _, class := range requestClasses {
+		byClass[class] = s.obs.Counter("amigo_server_requests_total",
+			obs.L("route", route), obs.L("class", class))
+	}
+	dur := s.obs.Histogram("amigo_server_request_duration_ms", obs.L("route", route))
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		dur.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		byClass[statusClass(code)].Add(1)
+	})
+}
+
 // Handler exposes the v1 and v2 measurement-endpoint API (see the
 // package comment for the protocol).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			ME      string `json:"me"`
 			Country string `json:"country"`
@@ -502,7 +640,7 @@ func (s *Server) Handler() http.Handler {
 		s.Register(req.ME, req.Country)
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/status", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			ME     string `json:"me"`
 			Vitals Vitals `json:"vitals"`
@@ -525,7 +663,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
 		tasks, err := s.Lease(r.URL.Query().Get("me"), 1)
 		if err != nil {
 			http.Error(w, "unknown me", http.StatusNotFound)
@@ -538,7 +676,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(tasks[0])
 	})
-	mux.HandleFunc("POST /v1/results", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /v1/results", func(w http.ResponseWriter, r *http.Request) {
 		var res Result
 		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
 			http.Error(w, "bad result", http.StatusBadRequest)
@@ -550,7 +688,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v2/tasks/lease", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /v2/tasks/lease", func(w http.ResponseWriter, r *http.Request) {
 		req, err := parseLeaseRequest(r.Body)
 		if err != nil {
 			http.Error(w, "bad lease", http.StatusBadRequest)
@@ -568,7 +706,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(tasks)
 	})
-	mux.HandleFunc("POST /v2/tasks/requeue", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /v2/tasks/requeue", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			ME string `json:"me"`
 		}
@@ -582,7 +720,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v2/results", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /v2/results", func(w http.ResponseWriter, r *http.Request) {
 		var batch []Result
 		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 			http.Error(w, "bad results", http.StatusBadRequest)
@@ -641,9 +779,11 @@ func parseLeaseRequest(body io.Reader) (leaseRequest, error) {
 //	GET  /admin/results?cursor=N[&limit=M] -> {"cursor": next, "results": [...]}
 //	                      cursor=-1 returns just the current cursor
 //	GET  /admin/mes
+//	GET  /admin/metrics        -> Prometheus text exposition (see WithObs)
+//	GET  /admin/trace?n=K      -> newest K trace events as JSON
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /admin/schedule", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "POST /admin/schedule", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			ME     string `json:"me"`
 			Kind   string `json:"kind"`
@@ -673,7 +813,7 @@ func (s *Server) AdminHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{"task_ids": ids})
 	})
-	mux.HandleFunc("GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		cursor, _ := strconv.Atoi(q.Get("cursor"))
 		limit, _ := strconv.Atoi(q.Get("limit"))
@@ -694,9 +834,14 @@ func (s *Server) AdminHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{"cursor": next, "results": rs})
 	})
-	mux.HandleFunc("GET /admin/mes", func(w http.ResponseWriter, r *http.Request) {
+	s.instrument(mux, "GET /admin/mes", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.MEs())
 	})
+	// Observability routes. Both are valid (empty) with no registry
+	// attached, and deliberately uninstrumented: scraping the metrics
+	// endpoint should not move the metrics it reports.
+	mux.Handle("GET /admin/metrics", s.obs.MetricsHandler())
+	mux.Handle("GET /admin/trace", s.obs.TraceHandler())
 	return mux
 }

@@ -157,6 +157,14 @@ type Injector struct {
 	meSeq   map[string]int // per-ME append order, for canonical sorting
 	crashes map[string]int // injected crashes so far, per ME
 	mwSeen  map[string]int // per-(ME, op) middleware attempt counters
+	faults  map[string]int // injected faults so far, per kind
+}
+
+// FaultKinds are the fault labels an Injector can record, in canonical
+// order — the label set for per-kind fault metrics (see Counts).
+var FaultKinds = []string{
+	"latency", "reset-before", "reset-after", "duplicate", "truncate",
+	"crash", "503", "429",
 }
 
 // NewInjector returns an Injector for the given seed and fault config.
@@ -166,6 +174,7 @@ func NewInjector(seed int64, cfg Config) *Injector {
 		meSeq:   map[string]int{},
 		crashes: map[string]int{},
 		mwSeen:  map[string]int{},
+		faults:  map[string]int{},
 	}
 }
 
@@ -179,7 +188,20 @@ func (inj *Injector) record(e Event) {
 	inj.mu.Lock()
 	inj.meSeq[e.ME]++
 	inj.events = append(inj.events, e)
+	inj.faults[e.Fault]++
 	inj.mu.Unlock()
+}
+
+// Counts returns how many faults of each kind have been injected so
+// far, keyed by the Event.Fault strings enumerated in FaultKinds.
+func (inj *Injector) Counts() map[string]int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[string]int, len(inj.faults))
+	for k, v := range inj.faults {
+		out[k] = v
+	}
+	return out
 }
 
 // Events returns the fault schedule in canonical order: by ME, then by

@@ -17,6 +17,7 @@ import (
 	"roamsim/internal/airalo"
 	"roamsim/internal/amigo"
 	"roamsim/internal/chaos"
+	"roamsim/internal/obs"
 	"roamsim/internal/rng"
 )
 
@@ -63,6 +64,45 @@ type Driver struct {
 	// kill changes the fault trace (an extra incarnation) but never
 	// the dataset; it is an escape hatch, off by default.
 	Straggler time.Duration
+	// Obs, when set, records fleet-level metrics (incarnations, task
+	// throughput, watchdog kills, chaos fault counts) and trace events
+	// into the registry, and propagates it to every ME endpoint.
+	// Instrumentation never touches the per-ME rng streams, so campaign
+	// datasets are byte-identical with or without it.
+	Obs *obs.Registry
+
+	met driverMetrics
+}
+
+// driverMetrics are the fleet campaign counters, created once per Run
+// so the per-ME and per-batch paths touch only atomics.
+type driverMetrics struct {
+	incarnations  *obs.Counter // ME lifetimes started (first runs + restarts)
+	crashRestarts *obs.Counter // restarts caused by injected crashes
+	watchdogKills *obs.Counter // stragglers cancelled and restarted
+	tasksExecuted *obs.Counter // tasks executed across all MEs
+	meFailures    *obs.Counter // MEs whose lifecycle ended in an error
+}
+
+// initObs creates the metric handles (nil no-ops when no registry is
+// attached) and registers the chaos fault-count gauges.
+func (d *Driver) initObs() {
+	d.met = driverMetrics{
+		incarnations:  d.Obs.Counter("fleet_incarnations_total"),
+		crashRestarts: d.Obs.Counter("fleet_crash_restarts_total"),
+		watchdogKills: d.Obs.Counter("fleet_watchdog_kills_total"),
+		tasksExecuted: d.Obs.Counter("fleet_tasks_executed_total"),
+		meFailures:    d.Obs.Counter("fleet_me_failures_total"),
+	}
+	if d.Obs != nil && d.Chaos != nil {
+		inj := d.Chaos
+		for _, kind := range chaos.FaultKinds {
+			kind := kind
+			d.Obs.CounterFunc("fleet_chaos_faults_total", func() float64 {
+				return float64(inj.Counts()[kind])
+			}, obs.L("kind", kind))
+		}
+	}
 }
 
 // Stats summarizes one campaign run.
@@ -146,6 +186,7 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 			return nil, fmt.Errorf("fleet: no deployment for country %q", sc.ISO)
 		}
 	}
+	d.initObs()
 	client := d.client()
 
 	// Pre-fork, then spawn: one child SEED per ME, captured serially in
@@ -168,10 +209,18 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 	runPool(d.workers(), len(scheds), func(i int) {
 		errs[i] = d.runME(client, scheds[i], w.Deployments[scheds[i].ISO], seeds[i])
 	})
-	for _, err := range errs {
+	// Report every failed ME, not just the first: a campaign debugging
+	// session needs to see whether one straggler died or half the fleet
+	// did, and which MEs by name.
+	var failures []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			d.met.meFailures.Add(1)
+			failures = append(failures, fmt.Errorf("%s: %w", scheds[i].Name, err))
 		}
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("fleet: %d/%d MEs failed: %w", len(failures), len(scheds), errors.Join(failures...))
 	}
 
 	results, err := d.fetchResults(client, startCursor)
@@ -204,6 +253,9 @@ func (d *Driver) runME(client *http.Client, sc MESchedule, dep *airalo.Deploymen
 		crashed, err := d.runIncarnation(client, sc, dep, seed, inc, &scheduled)
 		if err != nil {
 			if d.Straggler > 0 && errors.Is(err, context.DeadlineExceeded) && inc < d.restartBudget() {
+				d.met.watchdogKills.Add(1)
+				d.Obs.Trace().Record("watchdog-kill",
+					obs.L("me", sc.Name), obs.L("inc", fmt.Sprint(inc)))
 				continue // watchdog kill: reclaim the straggler, restart it
 			}
 			return err
@@ -214,6 +266,9 @@ func (d *Driver) runME(client *http.Client, sc MESchedule, dep *airalo.Deploymen
 		if inc+1 > d.restartBudget() {
 			return fmt.Errorf("fleet: %s exceeded restart budget (%d)", sc.Name, d.restartBudget())
 		}
+		d.met.crashRestarts.Add(1)
+		d.Obs.Trace().Record("crash-restart",
+			obs.L("me", sc.Name), obs.L("inc", fmt.Sprint(inc)))
 	}
 }
 
@@ -233,9 +288,11 @@ func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.
 	// incarnation's draws — heartbeat vitals included — identical to the
 	// first run's, so replayed payloads are byte-identical and server
 	// dedup can drop them.
+	d.met.incarnations.Add(1)
 	ep := amigo.NewEndpoint(sc.Name, d.BaseURL, dep, rng.New(seed))
 	ep.Client = client
 	ep.Ctx = ctx
+	ep.Obs = d.Obs
 	if d.Chaos != nil {
 		// Fault injection wraps this incarnation's transport; retry
 		// jitter draws from a stateless out-of-band stream so backoff
@@ -268,10 +325,19 @@ func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.
 		if n == 0 {
 			return false, nil
 		}
+		d.met.tasksExecuted.Add(int64(n))
 		if d.Chaos != nil && d.Chaos.MaybeCrash(sc.Name, inc, round) {
 			return true, nil
 		}
 	}
+}
+
+// drainBody discards a bounded amount of unread body before closing so
+// the connection is recycled into the keep-alive pool; a response
+// bigger than the bound is cheaper to abandon than to drain.
+func drainBody(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 256<<10))
+	body.Close()
 }
 
 func (d *Driver) scheduleBatch(client *http.Client, me string, tasks []amigo.Task) error {
@@ -283,8 +349,7 @@ func (d *Driver) scheduleBatch(client *http.Client, me string, tasks []amigo.Tas
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	drainBody(resp.Body)
 	if resp.StatusCode >= 300 {
 		return fmt.Errorf("fleet: schedule %s: HTTP %d", me, resp.StatusCode)
 	}
@@ -306,10 +371,7 @@ func (d *Driver) fetchPage(client *http.Client, cursor, limit int) (resultsPage,
 	if err != nil {
 		return page, err
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
+	defer drainBody(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return page, fmt.Errorf("fleet: results: HTTP %d", resp.StatusCode)
 	}

@@ -1,0 +1,30 @@
+package fleet
+
+import (
+	"roamsim/internal/netsim"
+	"roamsim/internal/obs"
+)
+
+// RegisterNetObs exports a network's route-cache effectiveness counters
+// into the registry, so campaign runs serve a netsim_* family alongside
+// the control-plane metrics. The counters are read-on-scrape callbacks
+// over atomics the cache maintains anyway — registering them costs the
+// simulation nothing. Re-registering the same registry/network pair
+// (e.g. across Driver runs) replaces the callbacks and is harmless.
+func RegisterNetObs(reg *obs.Registry, n *netsim.Network) {
+	if reg == nil || n == nil {
+		return
+	}
+	reg.CounterFunc("netsim_route_cache_hits_total", func() float64 {
+		h, _, _ := n.RouteCacheStats()
+		return float64(h)
+	})
+	reg.CounterFunc("netsim_route_cache_misses_total", func() float64 {
+		_, m, _ := n.RouteCacheStats()
+		return float64(m)
+	})
+	reg.CounterFunc("netsim_dijkstra_runs_total", func() float64 {
+		_, _, runs := n.RouteCacheStats()
+		return float64(runs)
+	})
+}

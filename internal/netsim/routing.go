@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"roamsim/internal/rng"
 )
@@ -70,6 +71,13 @@ type routeTable struct {
 
 	flightMu sync.Mutex
 	flight   map[[2]NodeID]*routeFlight
+
+	// Cache effectiveness counters (see Network.RouteCacheStats). Plain
+	// atomics so the hit fast path stays lock-free beyond its shard
+	// read-lock.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	dijkstras atomic.Uint64
 }
 
 type routeShard struct {
@@ -121,13 +129,24 @@ func (n *Network) Route(src, dst NodeID) (*Path, error) {
 	p, ok := sh.m[key]
 	sh.mu.RUnlock()
 	if ok {
+		n.routes.hits.Add(1)
 		return p, nil
 	}
+	n.routes.misses.Add(1)
 	return n.routes.compute(key, sh, func() (*Path, error) {
 		n.mu.RLock()
 		defer n.mu.RUnlock()
+		n.routes.dijkstras.Add(1)
 		return n.dijkstra(src, dst)
 	})
+}
+
+// RouteCacheStats reports cumulative route-cache effectiveness: cache
+// hits, misses, and how many Dijkstra runs the misses actually cost
+// (single-flight collapses concurrent misses for one pair into one run,
+// so dijkstraRuns <= misses).
+func (n *Network) RouteCacheStats() (hits, misses, dijkstraRuns uint64) {
+	return n.routes.hits.Load(), n.routes.misses.Load(), n.routes.dijkstras.Load()
 }
 
 // compute runs fn for key exactly once across concurrent callers and

@@ -27,9 +27,12 @@ func Mean(xs []float64) float64 {
 }
 
 // Variance returns the unbiased sample variance (n-1 denominator).
+// With fewer than two samples the variance is undefined, so it returns
+// NaN — a silent 0 would read as "perfectly stable", the opposite of
+// "no evidence either way", and poison downstream aggregates unnoticed.
 func Variance(xs []float64) float64 {
 	if len(xs) < 2 {
-		return 0
+		return math.NaN()
 	}
 	m := Mean(xs)
 	var ss float64
@@ -40,7 +43,8 @@ func Variance(xs []float64) float64 {
 	return ss / float64(len(xs)-1)
 }
 
-// StdDev returns the sample standard deviation.
+// StdDev returns the sample standard deviation, or NaN with fewer than
+// two samples (see Variance).
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
@@ -230,7 +234,9 @@ func LeveneTest(groups ...[]float64) (w, p float64, err error) {
 }
 
 // MeanCI returns the mean and half-width of a normal-approximation
-// confidence interval at the given z (1.96 for 95%).
+// confidence interval at the given z (1.96 for 95%). With fewer than
+// two samples no interval exists and the half-width is 0 (the n<2 guard
+// also keeps StdDev's NaN out of the result).
 func MeanCI(xs []float64, z float64) (mean, half float64) {
 	mean = Mean(xs)
 	if len(xs) < 2 {

@@ -21,8 +21,19 @@ func TestMeanVarianceStdDev(t *testing.T) {
 	approx(t, Mean(xs), 5, 1e-12, "mean")
 	approx(t, Variance(xs), 32.0/7.0, 1e-12, "variance")
 	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "stddev")
-	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
-		t.Error("degenerate inputs should return 0")
+	if Mean(nil) != 0 {
+		t.Error("empty mean should return 0")
+	}
+	// Variance of fewer than two samples is undefined: NaN, never a
+	// silent 0 masquerading as perfect stability.
+	if !math.IsNaN(Variance(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("n<2 variance should be NaN")
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("n<2 stddev should be NaN")
+	}
+	if mean, half := MeanCI([]float64{3}, 1.96); mean != 3 || half != 0 {
+		t.Errorf("n=1 MeanCI = (%v, %v), want (3, 0)", mean, half)
 	}
 }
 
