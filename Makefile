@@ -1,15 +1,29 @@
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-fleet chaos-smoke metrics-smoke fuzz-short
+.PHONY: verify vet lint lint-json build test race bench bench-fleet chaos-smoke metrics-smoke fuzz-short
 
-## verify: the CI entry point — vet, build, race-enabled tests, a
-## one-iteration fleet throughput smoke (v1 vs v2 protocol paths), the
-## chaos differential suite under the race detector, and the
-## observability endpoint smoke.
-verify: vet build race bench-fleet chaos-smoke metrics-smoke
+## verify: the CI entry point — vet, the roamvet determinism/hygiene
+## analyzers, build, race-enabled tests, a one-iteration fleet
+## throughput smoke (v1 vs v2 protocol paths), the chaos differential
+## suite under the race detector, and the observability endpoint smoke.
+verify: vet lint build race bench-fleet chaos-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
+
+## lint: run the five roamvet analyzers (ROAM001-005) over the whole
+## module; nonzero exit on any finding. The binary is cached under bin/
+## and rebuilt whenever its sources change.
+bin/roamvet: $(wildcard cmd/roamvet/*.go internal/lint/*.go)
+	$(GO) build -o bin/roamvet ./cmd/roamvet
+
+lint: bin/roamvet
+	./bin/roamvet
+
+## lint-json: same findings as machine-readable JSON (for editor/CI
+## integration).
+lint-json: bin/roamvet
+	./bin/roamvet -json
 
 build:
 	$(GO) build ./...
@@ -41,7 +55,7 @@ chaos-smoke:
 ## assert a non-empty, parseable Prometheus exposition that reflects
 ## live server state.
 metrics-smoke:
-	sh scripts/metrics_smoke.sh
+	bash scripts/metrics_smoke.sh
 
 ## fuzz-short: a 10s budget per native fuzz target, on top of the
 ## checked-in seed corpora (which always run as part of plain `go test`).

@@ -1,0 +1,92 @@
+// Command roamvet runs the repo's static-analysis suite: five
+// analyzers that enforce the determinism and hygiene contracts the
+// byte-identical-dataset guarantee rests on (see internal/lint and the
+// "Determinism contract" section of DESIGN.md).
+//
+//	roamvet                     # analyze every package in the module
+//	roamvet -only wallclock     # run a subset
+//	roamvet -skip bodyhygiene   # run everything but
+//	roamvet -json               # machine-readable findings (editors, CI)
+//	roamvet -C /path/to/module  # analyze another checkout
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"roamsim/internal/lint"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip    = flag.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		dir     = flag.String("C", ".", "module directory to analyze")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers, err := lint.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roamvet:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s  %-12s %s\n", a.Code, a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roamvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roamvet:", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	loadBroken := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrs {
+			fmt.Fprintf(os.Stderr, "roamvet: %s: type error: %v\n", p.Path, terr)
+			loadBroken = true
+		}
+		diags = append(diags, lint.Check(p, analyzers)...)
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "roamvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	switch {
+	case loadBroken:
+		os.Exit(2)
+	case len(diags) > 0:
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "roamvet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,7 @@ package airalo
 
 import (
 	"fmt"
+	"sort"
 
 	"roamsim/internal/dnssim"
 	"roamsim/internal/geo"
@@ -370,16 +371,8 @@ func (w *World) DeploymentKeys(web, device bool) []string {
 			out = append(out, key)
 		}
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // AttachHypotheticalLBO returns an eSIM session as if the v-MNO

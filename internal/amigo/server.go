@@ -125,7 +125,7 @@ type meState struct {
 // registryShard holds a slice of the ME registry under its own lock.
 type registryShard struct {
 	mu  sync.Mutex
-	mes map[string]*meState
+	mes map[string]*meState // guarded by mu
 }
 
 const (
@@ -142,7 +142,7 @@ type Server struct {
 	retryAfter time.Duration
 
 	spoolMu  sync.Mutex
-	spool    []Result
+	spool    []Result // guarded by spoolMu
 	spoolCap int
 
 	drainMu sync.Mutex
@@ -150,7 +150,7 @@ type Server struct {
 	mem     *MemorySink // nil when a custom non-memory sink is installed
 
 	idemMu   sync.Mutex
-	idemSeen map[string]struct{}
+	idemSeen map[string]struct{} // guarded by idemMu
 
 	// obs is the optional metrics/trace registry (see WithObs). All
 	// metric handles below are nil-safe no-ops when obs is nil, so the
@@ -241,6 +241,7 @@ func NewServer(clock func() time.Time, opts ...Option) *Server {
 		opt(s)
 	}
 	for i := range s.shards {
+		//lint:allow guardedfield constructor: the server is not shared until New returns
 		s.shards[i].mes = map[string]*meState{}
 	}
 	s.initObs()

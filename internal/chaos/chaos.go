@@ -304,6 +304,7 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	var body []byte
 	if req.Body != nil {
 		var err error
+		//lint:allow bodyhygiene request bodies are built in-process by amigo.Endpoint (tiny JSON), not read off the network; bounding here would corrupt the replayed duplicate
 		body, err = io.ReadAll(req.Body)
 		req.Body.Close()
 		if err != nil {
@@ -323,6 +324,7 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if spike && spikeFor > 0 {
 		ev("latency")
 		select {
+		//lint:allow wallclock a latency fault must really stall the transport; the spike duration and schedule are still pure functions of the chaos seed
 		case <-time.After(spikeFor):
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
@@ -351,6 +353,7 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, &faultError{fmt.Sprintf("chaos: connection reset awaiting response to %s", op)}
 	}
 	if truncate && resp.StatusCode == http.StatusOK {
+		//lint:allow bodyhygiene the truncation fault must capture the exact byte stream so the cut offset is a pure function of the seed; a bound would move the cut on large bodies
 		full, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {

@@ -3,6 +3,7 @@ package esimdb
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -104,6 +105,10 @@ func (c *Crawler) Crawl(date time.Time) ([]Plan, error) {
 		}
 		var resp offersResponse
 		err = json.NewDecoder(httpResp.Body).Decode(&resp)
+		// Drain whatever the decoder left (bounded) before closing so
+		// the connection returns to the keep-alive pool: a daily crawl
+		// is thousands of pages over the same three vantage origins.
+		io.Copy(io.Discard, io.LimitReader(httpResp.Body, 256<<10))
 		httpResp.Body.Close()
 		if err != nil {
 			return nil, fmt.Errorf("esimdb: decode page %d: %w", page, err)
@@ -189,6 +194,9 @@ func ProviderMedianPerGB(plans []Plan) map[string]struct {
 		for _, v := range a.perCountry {
 			medians = append(medians, stats.Median(v))
 		}
+		// Canonical order before the final median: the values were
+		// collected in map-iteration order.
+		sort.Float64s(medians)
 		out[name] = struct {
 			Median    float64
 			Countries int

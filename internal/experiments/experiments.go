@@ -94,12 +94,12 @@ type Runner struct {
 	W   *airalo.World
 	Cfg Config
 
-	mu     sync.Mutex // guards the memo fields below
-	traces []TraceObs
-	speeds []SpeedObs
-	cdns   []CDNObs
-	dnses  []DNSObs
-	videos []VideoObs
+	mu     sync.Mutex
+	traces []TraceObs // guarded by mu
+	speeds []SpeedObs // guarded by mu
+	cdns   []CDNObs   // guarded by mu
+	dnses  []DNSObs   // guarded by mu
+	videos []VideoObs // guarded by mu
 }
 
 // NewRunner builds a world and runner from the config.

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRoamvetExitCodes builds the real roamvet binary, points it at a
+// scratch module seeded with one violation per self-contained
+// contract, and asserts the CLI behavior the Makefile and CI rely on:
+// nonzero exit naming every code on a dirty tree, zero exit with -only
+// scoped to an analyzer the tree passes, and a parseable -json mode.
+func TestRoamvetExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the roamvet binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "roamvet")
+	build := exec.Command("go", "build", "-o", bin, "roamsim/cmd/roamvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building roamvet: %v\n%s", err, out)
+	}
+
+	// Scratch module named roamsim so the deterministic-scope rules
+	// apply; the seeded file lands under internal/measure (in scope).
+	mod := filepath.Join(tmp, "mod")
+	dir := filepath.Join(mod, "internal", "measure")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module roamsim\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := os.ReadFile(filepath.Join("testdata", "src", "seeded", "seeded.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), seeded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) (string, int) {
+		cmd := exec.Command(bin, append(args, "-C", mod)...)
+		out, err := cmd.Output()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running roamvet %v: %v", args, err)
+		}
+		return string(out), code
+	}
+
+	out, code := run()
+	if code != 1 {
+		t.Fatalf("seeded module: exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"ROAM001", "ROAM003", "ROAM004"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seeded module output missing %s:\n%s", want, out)
+		}
+	}
+
+	if out, code := run("-only", "guardedfield"); code != 0 {
+		t.Fatalf("-only guardedfield on seeded module: exit %d, want 0\n%s", code, out)
+	}
+
+	out, code = run("-json")
+	if code != 1 {
+		t.Fatalf("-json seeded module: exit %d, want 1\n%s", code, out)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(diags) < 3 {
+		t.Fatalf("-json reported %d findings, want >= 3", len(diags))
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || !strings.HasPrefix(d.Code, "ROAM") {
+			t.Errorf("malformed JSON diagnostic: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package lint implements roamvet, the repo's static-analysis suite.
+//
+// The core scientific claim of this reproduction — byte-identical
+// campaign datasets across worker counts, chaos schedules, and metrics
+// on/off — rests on a handful of coding contracts that are otherwise
+// only checked by expensive end-to-end equivalence tests:
+//
+//	ROAM001 wallclock    no wall clock or global math/rand in
+//	                     dataset-producing packages
+//	ROAM002 rngfork      rng streams are forked before goroutine spawn,
+//	                     never captured by a go closure
+//	ROAM003 maporder     map iteration never feeds ordered output
+//	                     without an intervening sort
+//	ROAM004 bodyhygiene  HTTP response bodies are drained, closed, and
+//	                     read through a bound on every path
+//	ROAM005 guardedfield fields annotated "guarded by <mu>" are only
+//	                     touched with <mu> held
+//
+// Each analyzer works on one type-checked package at a time and emits
+// file:line diagnostics. Violations that are intentional carry an
+// explicit escape hatch on the same or the preceding line:
+//
+//	//lint:allow wallclock <reason>
+//
+// The reason string is mandatory: a bare directive is itself reported
+// (ROAM000), so every suppression in the tree documents why the
+// contract does not apply.
+//
+// The suite is stdlib-only (go/parser, go/ast, go/types plus the source
+// importer) so go.mod stays dependency-free.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned in the original source.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Code     string         `json:"code"`     // "ROAM001"
+	Analyzer string         `json:"analyzer"` // "wallclock"
+	Message  string         `json:"message"`
+}
+
+// String renders the canonical single-line form used by the CLI.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]: %s", d.File, d.Line, d.Col, d.Code, d.Analyzer, d.Message)
+}
+
+// An Analyzer inspects one type-checked package and reports contract
+// violations. Run must be safe to call on packages with partial type
+// information (nil entries in Info maps) — analyzers degrade to
+// reporting nothing rather than panicking.
+type Analyzer struct {
+	Name string // short selector name, e.g. "wallclock"
+	Code string // stable diagnostic code, e.g. "ROAM001"
+	Doc  string // one-line contract statement
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers is the full suite in code order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		wallclockAnalyzer,
+		rngforkAnalyzer,
+		maporderAnalyzer,
+		bodyhygieneAnalyzer,
+		guardedfieldAnalyzer,
+	}
+}
+
+// Select resolves -only / -skip comma lists against the suite. An
+// unknown name in either list is an error so typos fail loudly.
+func Select(only, skip string) ([]*Analyzer, error) {
+	all := Analyzers()
+	known := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		known[a.Name] = a
+	}
+	names := func(csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if csv == "" {
+			return set, nil
+		}
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if known[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, analyzerNames(all))
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	onlySet, err := names(only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := names(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames(as []*Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// Check runs the given analyzers over pkg, applies //lint:allow
+// suppression, and returns the surviving diagnostics sorted by
+// position. Bare allow directives (no reason) are reported as ROAM000.
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(pkg)...)
+	}
+	allows, malformed := collectAllows(pkg)
+	var out []Diagnostic
+	for _, d := range diags {
+		if allows.covers(d.File, d.Line, d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// diag builds a Diagnostic for node position pos.
+func diag(p *Package, a *Analyzer, pos token.Pos, format string, args ...any) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Code:     a.Code,
+		Analyzer: a.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// allowDirective is the source escape hatch: //lint:allow <analyzer> <reason>.
+// It suppresses that analyzer's diagnostics on its own line and on the
+// line directly below it (so it can sit above the offending statement).
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\b[ \t]*(.*)$`)
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) covers(file string, line int, analyzer string) bool {
+	return s[allowKey{file, line, analyzer}] || s[allowKey{file, line - 1, analyzer}]
+}
+
+// collectAllows scans every comment in the package for allow
+// directives. A directive with an empty reason is returned as a
+// malformed-directive diagnostic (ROAM000) instead of a suppression:
+// the justification is part of the contract.
+func collectAllows(p *Package) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var malformed []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Code:     "ROAM000",
+						Analyzer: "allow",
+						Message:  fmt.Sprintf("lint:allow %s directive needs a reason string", m[1]),
+					})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, m[1]}] = true
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// inspect walks every file in the package, calling fn for each node.
+// Returning false prunes the subtree.
+func inspect(p *Package, fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Golden-diagnostic harness. Each testdata/src/<name> package carries
+// `// want "regexp"` comments on the lines where an analyzer must
+// report (multiple quoted regexps on one line mean multiple expected
+// diagnostics), and the harness diffs expected against emitted. A bare
+// `//lint:allow <analyzer>` directive (no reason) is an implicit want
+// for the ROAM000 malformed-directive diagnostic on its own line.
+
+var wantTokRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+var bareAllowRe = regexp.MustCompile(`^//lint:allow\s+[a-z]+\s*$`)
+
+type wantEntry struct {
+	file    string // basename
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, p *Package) []*wantEntry {
+	t.Helper()
+	var wants []*wantEntry
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := p.Fset.Position(c.Pos())
+				if bareAllowRe.MatchString(c.Text) {
+					wants = append(wants, &wantEntry{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   regexp.MustCompile(`^ROAM000`),
+					})
+					continue
+				}
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				for _, tok := range wantTokRe.FindAllString(c.Text[idx+len("// want "):], -1) {
+					re, err := regexp.Compile(tok[1 : len(tok)-1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, tok, err)
+					}
+					wants = append(wants, &wantEntry{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden loads testdata/src/<dir> under the import path asPath,
+// runs the named analyzers plus allow-suppression through Check, and
+// diffs diagnostics against want comments.
+func checkGolden(t *testing.T, loader *Loader, dir, asPath string, analyzerNames ...string) {
+	t.Helper()
+	p, err := loader.LoadDir(filepath.Join("testdata", "src", dir), asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, terr := range p.TypeErrs {
+		t.Errorf("%s: type error: %v", dir, terr)
+	}
+	analyzers, err := Select(strings.Join(analyzerNames, ","), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(p, analyzers)
+	wants := collectWants(t, p)
+
+	for _, d := range diags {
+		base := filepath.Base(d.File)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != base || w.line != d.Line {
+				continue
+			}
+			full := d.Code + " [" + d.Analyzer + "]: " + d.Message
+			if w.re.MatchString(full) || w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic import paths exercise the scope rules: measure is
+	// in dataset scope, amigo (control plane) is not.
+	const det = "roamsim/internal/measure"
+	const nonDet = "roamsim/internal/amigo"
+
+	t.Run("wallclock", func(t *testing.T) {
+		checkGolden(t, loader, "wallclock", det+"/wallclockgolden", "wallclock")
+	})
+	t.Run("wallclock-scope", func(t *testing.T) {
+		// Same violations under a control-plane path: nothing reported.
+		checkGolden(t, loader, "wallclockscope", nonDet+"/scopegolden", "wallclock", "maporder")
+	})
+	t.Run("rngfork", func(t *testing.T) {
+		checkGolden(t, loader, "rngfork", det+"/rngforkgolden", "rngfork")
+	})
+	t.Run("maporder", func(t *testing.T) {
+		checkGolden(t, loader, "maporder", det+"/maporder", "maporder")
+	})
+	t.Run("bodyhygiene", func(t *testing.T) {
+		// bodyhygiene is scope-free: use a control-plane path to prove it.
+		checkGolden(t, loader, "bodyhygiene", nonDet+"/bodygolden", "bodyhygiene")
+	})
+	t.Run("guardedfield", func(t *testing.T) {
+		checkGolden(t, loader, "guardedfield", nonDet+"/guardedgolden", "guardedfield")
+	})
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Select(all) = %d analyzers, err %v; want 5", len(all), err)
+	}
+	only, err := Select("wallclock,maporder", "")
+	if err != nil || len(only) != 2 {
+		t.Fatalf("Select(only) = %d analyzers, err %v; want 2", len(only), err)
+	}
+	skip, err := Select("", "bodyhygiene")
+	if err != nil || len(skip) != 4 {
+		t.Fatalf("Select(skip) = %d analyzers, err %v; want 4", len(skip), err)
+	}
+	if _, err := Select("nosuch", ""); err == nil {
+		t.Fatal("Select with unknown analyzer did not error")
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"path"
+	"strings"
+)
+
+// Deterministic package scope.
+//
+// The wallclock and maporder contracts apply only where code produces
+// or transforms campaign datasets: the simulation core, the measurement
+// campaigns, the table/figure emitters, and the fleet ingest path that
+// canonicalizes uploads back into datasets. The control plane (amigo,
+// the fleet driver, cmd/ mains, examples) legitimately reads the wall
+// clock for timeouts, backoff, and elapsed-time reporting and is out of
+// scope; the obs and chaos layers are IN scope precisely so their few
+// real-time touch points carry visible, justified //lint:allow
+// directives instead of silently expanding.
+
+// detSubtrees are module-relative package prefixes (after "roamsim" /
+// "roamsim/") whose whole subtree is dataset-producing.
+var detSubtrees = []string{
+	"",                     // the root facade package
+	"internal/airalo",      // world model
+	"internal/cdnsim",      // CDN campaign model
+	"internal/chaos",       // fault schedules must replay from seeds
+	"internal/core",        // demarcation + classification
+	"internal/dnssim",      // DNS campaign model
+	"internal/esimdb",      // marketplace dataset
+	"internal/experiments", // campaign engine + tables/figures
+	"internal/geo",         // geodesic model
+	"internal/gtp",         // codec + pcap writer
+	"internal/inet",        // transit topology
+	"internal/ipaddr",      // deterministic address plans
+	"internal/ipreg",       // registry lookups
+	"internal/ipx",         // IPX demarcation model
+	"internal/measure",     // measurement primitives
+	"internal/mno",         // operator model
+	"internal/netsim",      // packet-level network simulation
+	"internal/obs",         // exposition must be canonical
+	"internal/report",      // table rendering
+	"internal/rng",         // the rng discipline itself
+	"internal/signaling",   // SS7/Diameter model
+	"internal/stats",       // summary statistics
+	"internal/video",       // video campaign model
+	"internal/vmnocore",    // VMNO core model
+	"internal/voip",        // VoIP campaign model
+	"internal/webcampaign", // web campaign model
+}
+
+// detFiles puts single files of otherwise out-of-scope packages in
+// scope: fleet's ingest path canonicalizes uploads into datasets while
+// the rest of the package drives real HTTP.
+var detFiles = map[string][]string{
+	"internal/fleet": {"ingest.go"},
+}
+
+// deterministic reports whether the given file of package pkgPath is
+// under the dataset-determinism contract.
+func deterministic(p *Package, filename string) bool {
+	rel, ok := moduleRel(p.Path)
+	if !ok {
+		return false
+	}
+	for _, prefix := range detSubtrees {
+		if rel == prefix || (prefix != "" && strings.HasPrefix(rel, prefix+"/")) {
+			return true
+		}
+	}
+	for _, f := range detFiles[rel] {
+		if path.Base(filename) == f {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRel converts an import path to its module-relative form
+// ("roamsim/internal/core" → "internal/core", "roamsim" → "").
+func moduleRel(pkgPath string) (string, bool) {
+	const mod = "roamsim"
+	if pkgPath == mod {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(pkgPath, mod+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}

@@ -1,0 +1,68 @@
+// Package guardedfield is golden-test input for the ROAM005 analyzer:
+// a field annotated "guarded by <mu>" may only be touched in functions
+// that acquire <mu> on the same base expression.
+package guardedfield
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	name string
+}
+
+type registry struct {
+	mu sync.RWMutex
+	// guarded by mu
+	entries map[string]int
+}
+
+func (c *counter) goodLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bad() int {
+	return c.n // want `field c\.n is guarded by "mu" but bad does not acquire c\.mu`
+}
+
+func badOtherBase(c *counter) {
+	c.n++ // want `field c\.n is guarded by "mu" but badOtherBase does not acquire c\.mu`
+}
+
+// Unannotated fields are never checked.
+func (c *counter) goodUnannotated() string { return c.name }
+
+// The Locked-suffix convention: caller holds the lock.
+func (c *counter) incLocked() { c.n++ }
+
+// A value still under construction is not yet shared.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+func (r *registry) goodRLock(key string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[key]
+}
+
+func (r *registry) badEntries(key string) int {
+	return r.entries[key] // want `field r\.entries is guarded by "mu" but badEntries does not acquire r\.mu`
+}
+
+// Lock evidence must match the base expression: locking one instance
+// does not license touching another.
+func badWrongInstance(a, b *registry) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(b.entries) // want `field b\.entries is guarded by "mu" but badWrongInstance does not acquire b\.mu`
+}
+
+func allowedAccess(c *counter) int {
+	//lint:allow guardedfield golden-test case: single-threaded setup phase
+	return c.n
+}

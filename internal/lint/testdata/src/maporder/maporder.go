@@ -1,0 +1,109 @@
+// Package maporder is golden-test input for the ROAM003 analyzer:
+// inside deterministic scope, range-over-map must not feed ordered
+// output without an intervening sort.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func badKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+// The canonical collect-keys-then-sort idiom.
+func goodSortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slices.Sort counts as a sort too.
+func goodSlicesSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+func badWrite(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside range over map`
+	}
+	return b.String()
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation onto "s" inside range over map`
+	}
+	return s
+}
+
+// Commutative aggregation is order-free.
+func goodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Map-to-map rewrites are order-free.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Appending to a slice declared inside the loop body is loop-local.
+func goodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// Ranging a slice is always fine: order is the slice order.
+func goodSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+func allowedUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow maporder golden-test case: consumer treats the result as a set
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,69 @@
+// Package rngfork is golden-test input for the ROAM002 analyzer: a
+// *rng.Source declared outside a `go func` literal must not be
+// referenced inside it.
+package rngfork
+
+import "roamsim/internal/rng"
+
+func badCapture(parent *rng.Source) {
+	src := parent.Fork("worker")
+	go func() {
+		_ = src.Float64() // want `\*rng\.Source "src" captured by go closure`
+	}()
+}
+
+func badCaptureParent(parent *rng.Source) {
+	go func() {
+		// Forking inside the goroutine is the race itself: Fork draws
+		// from the parent, so the draw order depends on scheduling.
+		_ = parent.Fork("late") // want `\*rng\.Source "parent" captured by go closure`
+	}()
+}
+
+// The sanctioned pattern: pre-fork serially, pass one child per
+// goroutine as a parameter.
+func goodParam(parent *rng.Source, n int) {
+	srcs := parent.ForkN("worker", n)
+	for i := 0; i < n; i++ {
+		go func(s *rng.Source) {
+			_ = s.Float64()
+		}(srcs[i])
+	}
+}
+
+// Capturing the ForkN slice is fine: each goroutine owns its element.
+func goodSliceCapture(parent *rng.Source, n int) {
+	srcs := parent.ForkN("worker", n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_ = srcs[i].Float64()
+		}()
+	}
+}
+
+// Stateless re-derivation inside the goroutine is fine: rng.Stream has
+// no parent state to race on.
+func goodStream(seed int64) {
+	go func() {
+		s := rng.Stream(seed, "late")
+		_ = s.Float64()
+	}()
+}
+
+// Replay via a stored ForkSeed is the crash-recovery idiom (the fleet
+// driver re-creates an ME's stream from its seed).
+func goodForkSeed(parent *rng.Source) {
+	seed := parent.ForkSeed("me-7")
+	go func() {
+		s := rng.New(seed)
+		_ = s.Float64()
+	}()
+}
+
+func allowedCapture(parent *rng.Source) {
+	src := parent.Fork("seq")
+	go func() {
+		//lint:allow rngfork golden-test case: single goroutine owns the stream end-to-end
+		_ = src.Float64()
+	}()
+}

@@ -1,0 +1,27 @@
+// Package seeded holds one deliberate violation of each self-contained
+// contract. The driver test copies it into a scratch module under a
+// deterministic import path and asserts the roamvet binary exits
+// nonzero and names every code.
+package seeded
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+func seededWallclock() time.Time {
+	return time.Now()
+}
+
+func seededMaporder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func seededBodyhygiene(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body)
+}

@@ -70,7 +70,7 @@ type routeTable struct {
 	shards [routeShards]routeShard
 
 	flightMu sync.Mutex
-	flight   map[[2]NodeID]*routeFlight
+	flight   map[[2]NodeID]*routeFlight // guarded by flightMu
 
 	// Cache effectiveness counters (see Network.RouteCacheStats). Plain
 	// atomics so the hit fast path stays lock-free beyond its shard
@@ -82,7 +82,7 @@ type routeTable struct {
 
 type routeShard struct {
 	mu sync.RWMutex
-	m  map[[2]NodeID]*Path
+	m  map[[2]NodeID]*Path // guarded by mu
 }
 
 type routeFlight struct {
@@ -93,8 +93,10 @@ type routeFlight struct {
 
 func (t *routeTable) init() {
 	for i := range t.shards {
+		//lint:allow guardedfield build phase: the table is not shared until the Network is published
 		t.shards[i].m = make(map[[2]NodeID]*Path)
 	}
+	//lint:allow guardedfield build phase: the table is not shared until the Network is published
 	t.flight = make(map[[2]NodeID]*routeFlight)
 }
 

@@ -48,9 +48,9 @@ func bucketIndex(v float64) int {
 // histShard is one independently-locked slice of a histogram.
 type histShard struct {
 	mu     sync.Mutex
-	counts [histBuckets + 1]uint64
-	count  uint64
-	sum    float64
+	counts [histBuckets + 1]uint64 // guarded by mu
+	count  uint64                  // guarded by mu
+	sum    float64                 // guarded by mu
 	// pad keeps adjacent shards off one cache line under contention.
 	_ [24]byte
 }

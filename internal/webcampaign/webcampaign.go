@@ -12,6 +12,7 @@ package webcampaign
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -270,6 +271,9 @@ func (v *Volunteer) post(client *http.Client, path string, body any) error {
 	if err != nil {
 		return err
 	}
+	// Drain (bounded) before closing so the volunteer's connection goes
+	// back to the keep-alive pool instead of being torn down.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256<<10))
 	resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		return fmt.Errorf("webcampaign: %s: HTTP %d", path, resp.StatusCode)

@@ -1,13 +1,13 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # metrics_smoke.sh — boot a real amigo-server, scrape /admin/metrics,
 # and assert the exposition is non-empty, parseable Prometheus text that
 # covers the control-server metric family. Run via `make metrics-smoke`.
-set -eu
+set -euo pipefail
 
-TMPDIR_SMOKE=$(mktemp -d)
+TMPDIR_SMOKE="$(mktemp -d)"
 BIN="$TMPDIR_SMOKE/amigo-server"
 OUT="$TMPDIR_SMOKE/metrics.txt"
-PORT=${METRICS_SMOKE_PORT:-18931}
+PORT="${METRICS_SMOKE_PORT:-18931}"
 
 cleanup() {
     [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
