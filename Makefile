@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: verify vet lint lint-json build test race bench bench-fleet chaos-smoke metrics-smoke fuzz-short
+.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke fuzz-short
 
 ## verify: the CI entry point — vet, the roamvet determinism/hygiene
 ## analyzers, build, race-enabled tests, a one-iteration fleet
-## throughput smoke (v1 vs v2 protocol paths), the chaos differential
+## throughput smoke (v1/v2/v3 protocol paths), the chaos differential
 ## suite under the race detector, and the observability endpoint smoke.
 verify: vet lint build race bench-fleet chaos-smoke metrics-smoke
 
@@ -40,9 +40,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ## bench-fleet: smoke-run the fleet control-plane throughput benchmark
-## (one iteration, 10k-ME cases skipped via -short).
+## over all three protocols (one iteration, 10k-ME cases skipped via
+## -short).
 bench-fleet:
 	$(GO) test -short -run=^$$ -bench=Fleet -benchtime=1x ./internal/fleet
+
+## bench-json: run the fleet throughput benchmark at 100/1000 MEs for
+## v1/v2/v3 and snapshot results/s into BENCH_fleet.json (uploaded as a
+## CI artifact so regressions are visible per-commit).
+bench-json:
+	bash scripts/bench_fleet.sh BENCH_fleet.json
 
 ## chaos-smoke: the fault-injection differential suite under the race
 ## detector — a chaos fleet run must ingest the byte-identical dataset a
@@ -62,3 +69,5 @@ metrics-smoke:
 fuzz-short:
 	$(GO) test -fuzz=FuzzDemarcate -fuzztime=10s -run=^$$ ./internal/core
 	$(GO) test -fuzz=FuzzLeaseDecode -fuzztime=10s -run=^$$ ./internal/amigo
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run=^$$ ./internal/wire
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s -run=^$$ ./internal/wire

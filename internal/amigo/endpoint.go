@@ -98,6 +98,10 @@ type Endpoint struct {
 	// be set before the first operation; instrumentation never touches
 	// the measurement rng, so datasets are identical with or without it.
 	Obs *obs.Registry
+	// Proto selects the batch protocol for Lease/Upload: ProtoV2 (JSON,
+	// the default — "" means v2) or ProtoV3 (binary wire frames).
+	// Delivery semantics are identical either way; see endpoint_v3.go.
+	Proto string
 
 	battery float64
 	acked   int // highest task ID leased so far (v2 ack cursor)
@@ -123,6 +127,7 @@ var (
 	epPaths = []string{
 		"/v1/register", "/v1/status", "/v1/tasks", "/v1/results",
 		"/v2/tasks/lease", "/v2/tasks/requeue", "/v2/results",
+		"/v3/tasks/lease", "/v3/results",
 	}
 	taskKinds = []string{"speedtest", "mtr", "cdn", "dns", "video", "other"}
 )
@@ -292,11 +297,18 @@ func (e *Endpoint) postResp(path string, body any, header map[string]string) (*h
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(e.reqContext(), http.MethodPost, e.BaseURL+path, bytes.NewReader(buf))
+	return e.postRaw(path, "application/json", buf, header)
+}
+
+// postRaw sends pre-encoded bytes — the shared tail of the JSON and
+// binary post paths (request metrics, connection tracing, 429
+// counting).
+func (e *Endpoint) postRaw(path, contentType string, body []byte, header map[string]string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(e.reqContext(), http.MethodPost, e.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	for k, v := range header {
 		req.Header.Set(k, v)
 	}
@@ -377,8 +389,12 @@ func (e *Endpoint) RunOnce() (bool, error) {
 // acked tasks and re-delivers unacked ones, so a lease response lost to
 // a fault is recovered on the next call). An empty slice means the
 // queue is drained. Transport errors, truncated responses, 429s, and
-// 5xx are retried under the backoff policy.
+// 5xx are retried under the backoff policy. With Proto set to ProtoV3
+// the same exchange runs over the binary v3 route.
 func (e *Endpoint) Lease(max int) ([]Task, error) {
+	if e.Proto == ProtoV3 {
+		return e.leaseV3(max)
+	}
 	var tasks []Task
 	err := e.retry("lease", func() (bool, time.Duration, error) {
 		resp, err := e.postResp("/v2/tasks/lease",
@@ -439,6 +455,9 @@ func (e *Endpoint) Redeliver() error {
 func (e *Endpoint) Upload(results []Result) error {
 	if len(results) == 0 {
 		return nil
+	}
+	if e.Proto == ProtoV3 {
+		return e.uploadV3(results)
 	}
 	header := map[string]string{"Idempotency-Key": uploadKey(e.Name, results)}
 	return e.retry("results", func() (bool, time.Duration, error) {

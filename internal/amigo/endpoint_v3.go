@@ -1,0 +1,108 @@
+package amigo
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"roamsim/internal/wire"
+)
+
+// Protocol selectors for Endpoint.Proto.
+const (
+	ProtoV2 = "v2" // JSON batch protocol (the default; "" means v2)
+	ProtoV3 = "v3" // binary wire protocol (internal/wire frames)
+)
+
+// v3 client path: the same lease/upload state machine as the v2
+// methods — identical retry policy, ack-cursor updates and idempotency
+// keys — with wire frames in place of JSON bodies. Encode buffers are
+// pooled; a frame is encoded once per logical operation and reused
+// across retries. Register, heartbeat and requeue stay on their JSON
+// routes: they are per-incarnation, not per-batch, so they are not on
+// the hot path the binary codec exists for.
+
+// leaseV3 is Lease over POST /v3/tasks/lease.
+func (e *Endpoint) leaseV3(max int) ([]Task, error) {
+	ebuf := wire.GetBuf()
+	defer wire.PutBuf(ebuf)
+	*ebuf = wire.AppendLeaseRequest((*ebuf)[:0],
+		wire.LeaseRequest{ME: e.Name, Max: max, Ack: e.acked})
+	var tasks []Task
+	err := e.retry("lease", func() (bool, time.Duration, error) {
+		resp, err := e.postRaw("/v3/tasks/lease", wire.ContentType, *ebuf, nil)
+		if err != nil {
+			return false, 0, err
+		}
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			drainClose(resp)
+			tasks = nil
+			return true, 0, nil
+		case http.StatusOK:
+		default:
+			wait := retryAfter(resp)
+			drainClose(resp)
+			if retryableStatus(resp.StatusCode) {
+				return false, wait, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+			}
+			return true, 0, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+		}
+		rbuf := wire.GetBuf()
+		h, payload, err := wire.ReadFrame(resp.Body, (*rbuf)[:0])
+		*rbuf = payload
+		drainClose(resp)
+		if err == nil && h.Type != wire.MsgTasks {
+			err = fmt.Errorf("wire: unexpected message type 0x%02x", h.Type)
+		}
+		var got []Task
+		if err == nil {
+			dec := wire.GetDecoder()
+			// Tasks carry no byte fields, so the decoded batch owns all
+			// its data and rbuf can go straight back to the pool.
+			got, err = dec.Tasks(payload, nil)
+			wire.PutDecoder(dec)
+		}
+		wire.PutBuf(rbuf)
+		if err != nil {
+			// Truncated or garbled frame: the batch stays unacked on the
+			// server and the retry re-delivers the same tasks.
+			return false, 0, fmt.Errorf("amigo: lease: decoding response: %w", err)
+		}
+		tasks = got
+		return true, 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n := len(tasks); n > 0 {
+		e.acked = tasks[n-1].ID
+	}
+	return tasks, nil
+}
+
+// uploadV3 is Upload over POST /v3/results. The Idempotency-Key is the
+// same content-derived uploadKey as v2 — it hashes field values, not
+// encoded bytes, so the same batch dedups across codecs.
+func (e *Endpoint) uploadV3(results []Result) error {
+	header := map[string]string{"Idempotency-Key": uploadKey(e.Name, results)}
+	ebuf := wire.GetBuf()
+	defer wire.PutBuf(ebuf)
+	*ebuf = wire.AppendResults((*ebuf)[:0], results)
+	return e.retry("results", func() (bool, time.Duration, error) {
+		resp, err := e.postRaw("/v3/results", wire.ContentType, *ebuf, header)
+		if err != nil {
+			return false, 0, err
+		}
+		wait := retryAfter(resp)
+		drainClose(resp)
+		switch {
+		case resp.StatusCode < 300:
+			return true, 0, nil
+		case retryableStatus(resp.StatusCode):
+			return false, wait, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
+		default:
+			return true, 0, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
+		}
+	})
+}

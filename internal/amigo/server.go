@@ -36,6 +36,17 @@
 // dropped server-side (SubmitKeyed), so retried and duplicated uploads
 // never double-count results.
 //
+// The v3 binary protocol is the same lease/upload pair with
+// internal/wire frames in place of JSON bodies (see server_v3.go and
+// DESIGN.md "v3 wire format"):
+//
+//	POST /v3/tasks/lease   MsgLeaseRequest frame -> MsgTasks frame (204 if none)
+//	POST /v3/results       MsgResults frame      -> 204, or 429 + Retry-After
+//
+// Requests must carry Content-Type application/vnd.amigo.v3 (else 415).
+// Ack cursors, Idempotency-Key dedup and backpressure behave exactly as
+// in v2 — the codec changes, the protocol semantics do not.
+//
 // # Backpressure
 //
 // Uploaded results flow through a bounded spool into a pluggable Sink
@@ -67,6 +78,7 @@ import (
 	"time"
 
 	"roamsim/internal/obs"
+	"roamsim/internal/wire"
 )
 
 // Vitals are the device-health metrics an ME reports with heartbeats.
@@ -79,27 +91,15 @@ type Vitals struct {
 	ActiveID string  `json:"active_id"` // active SIM profile ("sim"/"esim")
 }
 
-// Task is one instrumentation command for an ME.
-type Task struct {
-	ID   int    `json:"id"`
-	Kind string `json:"kind"` // "speedtest", "mtr", "cdn", "dns", "video"
-	// Target parameterizes the task (SP name, CDN provider, ...).
-	Target string `json:"target,omitempty"`
-	// Config selects the SIM profile: "sim" or "esim".
-	Config string `json:"config"`
-}
+// Task is one instrumentation command for an ME. The struct lives in
+// internal/wire (aliased here) so the JSON (v1/v2) and binary (v3)
+// codecs share one canonical definition; every existing amigo.Task
+// call site is unchanged.
+type Task = wire.Task
 
-// Result is an uploaded observation.
-type Result struct {
-	TaskID   int             `json:"task_id"`
-	ME       string          `json:"me"`
-	Kind     string          `json:"kind"`
-	Config   string          `json:"config"`
-	OK       bool            `json:"ok"`
-	Error    string          `json:"error,omitempty"`
-	Payload  json.RawMessage `json:"payload,omitempty"`
-	Uploaded time.Time       `json:"uploaded"`
-}
+// Result is an uploaded observation (canonical struct in
+// internal/wire, see Task).
+type Result = wire.Result
 
 // ErrSpoolFull is returned by Submit when the bounded result spool has
 // no room for a batch; HTTP handlers translate it to 429 + Retry-After.
@@ -140,6 +140,7 @@ type Server struct {
 	clock  func() time.Time
 
 	retryAfter time.Duration
+	maxProto   int // highest protocol Handler mounts (2 or 3)
 
 	spoolMu  sync.Mutex
 	spool    []Result // guarded by spoolMu
@@ -171,6 +172,7 @@ type serverMetrics struct {
 	submitted     *obs.Counter // results accepted into the spool
 	dedupDropped  *obs.Counter // duplicate idempotency-key batches dropped
 	spoolRejected *obs.Counter // batches shed with 429 (spool full)
+	encodeErrors  *obs.Counter // response encode/write failures (client gone mid-response)
 }
 
 // Option configures a Server.
@@ -210,6 +212,18 @@ func WithRetryAfter(d time.Duration) Option {
 	return func(s *Server) { s.retryAfter = d }
 }
 
+// WithMaxProto caps the protocol generation Handler serves: 2 mounts
+// only the v1/v2 JSON routes (the v3 binary routes 404), 3 (the
+// default) mounts everything. Operators pin 2 to force a fleet onto
+// the JSON oracle path, e.g. when bisecting a codec suspicion.
+func WithMaxProto(p int) Option {
+	return func(s *Server) {
+		if p == 2 || p == 3 {
+			s.maxProto = p
+		}
+	}
+}
+
 // WithObs attaches a metrics/trace registry: per-route request counts
 // and latency histograms, lease/ack/redelivery/dedup counters, and
 // spool gauges are recorded into it, and AdminHandler serves it at
@@ -232,6 +246,7 @@ func NewServer(clock func() time.Time, opts ...Option) *Server {
 		shards:     make([]registryShard, defaultShardCount),
 		clock:      clock,
 		retryAfter: time.Second,
+		maxProto:   3,
 		spoolCap:   defaultSpoolCap,
 		sink:       mem,
 		mem:        mem,
@@ -260,6 +275,7 @@ func (s *Server) initObs() {
 		submitted:     s.obs.Counter("amigo_server_results_submitted_total"),
 		dedupDropped:  s.obs.Counter("amigo_server_dedup_dropped_batches_total"),
 		spoolRejected: s.obs.Counter("amigo_server_spool_rejections_total"),
+		encodeErrors:  s.obs.Counter("amigo_server_response_encode_errors_total"),
 	}
 	s.obs.GaugeFunc("amigo_server_spool_depth", func() float64 { return float64(s.SpoolDepth()) })
 	s.obs.GaugeFunc("amigo_server_registered_mes", func() float64 { return float64(len(s.MEs())) })
@@ -343,6 +359,14 @@ func (s *Server) Lease(me string, max int) ([]Task, error) {
 // truncation never drops scheduled work. ack 0 (a fresh client)
 // acknowledges nothing.
 func (s *Server) LeaseAck(me string, max, ack int) ([]Task, error) {
+	return s.LeaseAckInto(me, max, ack, nil)
+}
+
+// LeaseAckInto is LeaseAck appending the leased tasks onto dst — the
+// v3 hot path passes a pooled slice re-sliced to [:0] so the
+// steady-state lease copies into recycled capacity instead of
+// allocating per response.
+func (s *Server) LeaseAckInto(me string, max, ack int, dst []Task) ([]Task, error) {
 	if max < 1 {
 		max = 1
 	}
@@ -351,7 +375,7 @@ func (s *Server) LeaseAck(me string, max, ack int) ([]Task, error) {
 	defer sh.mu.Unlock()
 	st, ok := sh.mes[me]
 	if !ok {
-		return nil, fmt.Errorf("amigo: unknown ME %q", me)
+		return dst, fmt.Errorf("amigo: unknown ME %q", me)
 	}
 	// Retire acknowledged deliveries into the done log (kept for Requeue).
 	for len(st.outstanding) > 0 && st.outstanding[0].ID <= ack {
@@ -363,17 +387,17 @@ func (s *Server) LeaseAck(me string, max, ack int) ([]Task, error) {
 		// Unacked deliveries: the previous response was lost — re-deliver.
 		n := min(max, len(st.outstanding))
 		s.met.redelivered.Add(int64(n))
-		return append([]Task(nil), st.outstanding[:n]...), nil
+		return append(dst, st.outstanding[:n]...), nil
 	}
 	n := min(max, len(st.queue))
-	leased := append([]Task(nil), st.queue[:n]...)
-	st.outstanding = append(st.outstanding, leased...)
+	dst = append(dst, st.queue[:n]...)
+	st.outstanding = append(st.outstanding, st.queue[:n]...)
 	st.queue = st.queue[n:]
 	if len(st.queue) == 0 {
 		st.queue = nil
 	}
 	s.met.leased.Add(int64(n))
-	return leased, nil
+	return dst, nil
 }
 
 // Requeue restores the ME's full v2 schedule — acknowledged, outstanding
@@ -551,6 +575,27 @@ func (s *Server) rejectBusy(w http.ResponseWriter) {
 	http.Error(w, "result spool full", http.StatusTooManyRequests)
 }
 
+// writeJSON encodes v as the JSON response body. Encode failures here
+// mean the client vanished mid-response (the headers are already out,
+// so no status change is possible); they were previously dropped on
+// the floor — now they count, so a fleet tearing connections down
+// mid-read is visible in /admin/metrics instead of silent.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.met.encodeErrors.Add(1)
+	}
+}
+
+// writeFrame writes an encoded v3 frame, counting short/failed writes
+// like writeJSON counts encode failures.
+func (s *Server) writeFrame(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	if _, err := w.Write(frame); err != nil {
+		s.met.encodeErrors.Add(1)
+	}
+}
+
 // statusWriter captures the response status code for route metrics.
 type statusWriter struct {
 	http.ResponseWriter
@@ -625,8 +670,9 @@ func (s *Server) instrument(mux *http.ServeMux, pattern string, h http.HandlerFu
 	})
 }
 
-// Handler exposes the v1 and v2 measurement-endpoint API (see the
-// package comment for the protocol).
+// Handler exposes the v1/v2/v3 measurement-endpoint API (see the
+// package comment for the protocol; WithMaxProto(2) leaves the v3
+// binary routes unmounted).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.instrument(mux, "POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
@@ -674,8 +720,7 @@ func (s *Server) Handler() http.Handler {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(tasks[0])
+		s.writeJSON(w, tasks[0])
 	})
 	s.instrument(mux, "POST /v1/results", func(w http.ResponseWriter, r *http.Request) {
 		var res Result
@@ -704,8 +749,7 @@ func (s *Server) Handler() http.Handler {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(tasks)
+		s.writeJSON(w, tasks)
 	})
 	s.instrument(mux, "POST /v2/tasks/requeue", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -733,6 +777,10 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	if s.maxProto >= 3 {
+		s.instrument(mux, "POST /v3/tasks/lease", s.handleV3Lease)
+		s.instrument(mux, "POST /v3/results", s.handleV3Results)
+	}
 	return mux
 }
 
@@ -811,8 +859,7 @@ func (s *Server) AdminHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"task_ids": ids})
+		s.writeJSON(w, map[string]any{"task_ids": ids})
 	})
 	s.instrument(mux, "GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -832,12 +879,10 @@ func (s *Server) AdminHandler() http.Handler {
 		if rs == nil {
 			rs = []Result{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"cursor": next, "results": rs})
+		s.writeJSON(w, map[string]any{"cursor": next, "results": rs})
 	})
 	s.instrument(mux, "GET /admin/mes", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.MEs())
+		s.writeJSON(w, s.MEs())
 	})
 	// Observability routes. Both are valid (empty) with no registry
 	// attached, and deliberately uninstrumented: scraping the metrics

@@ -10,36 +10,38 @@ import (
 	"testing"
 
 	"roamsim/internal/amigo"
+	"roamsim/internal/wire"
 )
 
 // BenchmarkFleetThroughput measures control-plane results/sec at fleet
 // scale: N registered MEs draining a fixed task backlog over real HTTP
-// on loopback, via the v1 one-task-per-poll protocol vs the v2 batch
-// lease/upload protocol. Task execution is stubbed with a canned result
-// so the benchmark isolates the serving path (registry sharding,
-// lease/upload round trips, spool) rather than the measurement
-// simulation. v2 should sustain >= 5x v1 at 1000 MEs.
+// on loopback, via the v1 one-task-per-poll protocol, the v2 JSON
+// batch protocol, and the v3 binary batch protocol. Task execution is
+// stubbed with a canned result so the benchmark isolates the serving
+// path (registry sharding, lease/upload round trips, codec, spool)
+// rather than the measurement simulation. v2 should sustain >= 5x v1
+// and v3 >= 3x v2 at 1000 MEs.
 func BenchmarkFleetThroughput(b *testing.B) {
 	for _, mes := range []int{100, 1000, 10000} {
-		for _, proto := range []string{"v1", "v2"} {
+		for _, proto := range []string{"v1", "v2", "v3"} {
 			name := fmt.Sprintf("%s/mes=%d", proto, mes)
 			b.Run(name, func(b *testing.B) {
 				if mes >= 10000 && testing.Short() {
 					b.Skip("10k MEs skipped in -short smoke runs")
 				}
-				benchThroughput(b, mes, proto == "v2")
+				benchThroughput(b, mes, proto)
 			})
 		}
 	}
 }
 
-func benchThroughput(b *testing.B, mes int, v2 bool) {
+func benchThroughput(b *testing.B, mes int, proto string) {
 	// The device campaign schedules 72 tasks per ME (9 tools x 2
-	// configs x 4 reps); 16 keeps the 10k-ME case tractable while
-	// still letting batch leases amortize round trips.
-	const tasksPerME = 16
+	// configs x 4 reps); 64 approximates that realistic backlog while
+	// keeping the 10k-ME case tractable.
+	const tasksPerME = 64
 	const workers = 32
-	const leaseBatch = 32
+	const leaseBatch = 64
 
 	srv := amigo.NewServer(nil)
 	hs := httptest.NewServer(srv.Handler())
@@ -49,10 +51,27 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 		MaxIdleConnsPerHost: workers * 2,
 	}}
 
+	// Canned payloads stand in for typical observations of each tool so
+	// the codecs move representative bytes: speedtests are small, mtr
+	// traces carry a multi-hop list (the bulk of a real campaign's
+	// upload volume), dns is in between.
+	canned := map[string]json.RawMessage{
+		"speedtest": json.RawMessage(`{"server":"Karachi","latency_ms":87.3,"down_mbps":9.42,"up_mbps":3.11,"cqi":9,"rat":"4G","public_ip":"203.0.113.7"}`),
+		"mtr": json.RawMessage(`{"target":"Google","hops":[` +
+			`{"ttl":1,"addr":"10.64.0.1","rtt_ms":31.2},{"ttl":2},{"ttl":3},` +
+			`{"ttl":4,"addr":"100.66.12.9","rtt_ms":58.7},{"ttl":5,"addr":"100.66.8.1","rtt_ms":61.0},` +
+			`{"ttl":6,"addr":"185.210.48.33","rtt_ms":96.4},{"ttl":7,"addr":"185.210.48.12","rtt_ms":98.9},` +
+			`{"ttl":8,"addr":"62.115.120.7","rtt_ms":121.5},{"ttl":9,"addr":"62.115.140.22","rtt_ms":128.8},` +
+			`{"ttl":10,"addr":"72.14.204.68","rtt_ms":141.2},{"ttl":11,"addr":"142.251.52.145","rtt_ms":143.7},` +
+			`{"ttl":12,"addr":"142.250.184.14","rtt_ms":144.1}]}`),
+		"dns": json.RawMessage(`{"resolver":"8.8.8.8","backend":"172.217.16.4","backend_asn":15169,"anycast":true,"lookup_ms":42.6}`),
+	}
+
 	names := make([]string, mes)
 	taskTmpl := make([]amigo.Task, tasksPerME)
+	kinds := []string{"speedtest", "mtr", "dns"}
 	for i := range taskTmpl {
-		taskTmpl[i] = amigo.Task{Kind: "speedtest", Config: "esim"}
+		taskTmpl[i] = amigo.Task{Kind: kinds[i%len(kinds)], Config: "esim"}
 	}
 	for i := range names {
 		names[i] = fmt.Sprintf("me-%05d", i)
@@ -88,7 +107,7 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 			if err != nil {
 				return err
 			}
-			up, err := post("/v1/results", amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true})
+			up, err := post("/v1/results", amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true, Payload: canned[task.Kind]})
 			if err != nil {
 				return err
 			}
@@ -119,7 +138,7 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 			}
 			results := make([]amigo.Result, len(tasks))
 			for i, task := range tasks {
-				results[i] = amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true}
+				results[i] = amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true, Payload: canned[task.Kind]}
 			}
 			up, err := post("/v2/results", results)
 			if err != nil {
@@ -129,6 +148,72 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 				return fmt.Errorf("v2 upload: HTTP %d", code)
 			}
 		}
+	}
+
+	// drainV3 is drainV2 over binary frames: one encode buffer, read
+	// buffer, decoder and scratch per ME drain, reused across rounds —
+	// the steady state allocates nothing per round trip beyond what
+	// net/http itself does.
+	drainV3 := func(me string) error {
+		ebuf := wire.GetBuf()
+		defer wire.PutBuf(ebuf)
+		rbuf := wire.GetBuf()
+		defer wire.PutBuf(rbuf)
+		dec := wire.GetDecoder()
+		defer wire.PutDecoder(dec)
+		var tasks []amigo.Task
+		var results []amigo.Result
+		ack := 0
+		for {
+			*ebuf = wire.AppendLeaseRequest((*ebuf)[:0],
+				wire.LeaseRequest{ME: me, Max: leaseBatch, Ack: ack})
+			resp, err := client.Post(hs.URL+"/v3/tasks/lease", wire.ContentType, bytes.NewReader(*ebuf))
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusNoContent {
+				finish(resp)
+				return nil
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("v3 lease: HTTP %d", finish(resp))
+			}
+			h, payload, err := wire.ReadFrame(resp.Body, (*rbuf)[:0])
+			*rbuf = payload
+			finish(resp)
+			if err == nil && h.Type != wire.MsgTasks {
+				err = fmt.Errorf("v3 lease: unexpected frame type %#x", h.Type)
+			}
+			if err == nil {
+				tasks, err = dec.Tasks(payload, tasks[:0])
+			}
+			if err != nil {
+				return err
+			}
+			if n := len(tasks); n > 0 {
+				ack = tasks[n-1].ID
+			}
+			results = results[:0]
+			for _, task := range tasks {
+				results = append(results, amigo.Result{TaskID: task.ID, ME: me, Kind: task.Kind, Config: task.Config, OK: true, Payload: canned[task.Kind]})
+			}
+			*ebuf = wire.AppendResults((*ebuf)[:0], results)
+			up, err := client.Post(hs.URL+"/v3/results", wire.ContentType, bytes.NewReader(*ebuf))
+			if err != nil {
+				return err
+			}
+			if code := finish(up); code >= 300 {
+				return fmt.Errorf("v3 upload: HTTP %d", code)
+			}
+		}
+	}
+
+	drain := drainV1
+	switch proto {
+	case "v2":
+		drain = drainV2
+	case "v3":
+		drain = drainV3
 	}
 
 	b.ResetTimer()
@@ -142,11 +227,7 @@ func benchThroughput(b *testing.B, mes int, v2 bool) {
 		b.StartTimer()
 		errs := make([]error, mes)
 		runPool(workers, mes, func(i int) {
-			if v2 {
-				errs[i] = drainV2(names[i])
-			} else {
-				errs[i] = drainV1(names[i])
-			}
+			errs[i] = drain(names[i])
 		})
 		for _, err := range errs {
 			if err != nil {

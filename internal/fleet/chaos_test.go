@@ -22,6 +22,7 @@ func newChaosControlServer(t testing.TB, inj *chaos.Injector) (*amigo.Server, *h
 	h := srv.Handler()
 	mux.Handle("/v1/", h)
 	mux.Handle("/v2/", h)
+	mux.Handle("/v3/", h)
 	mux.Handle("/admin/", srv.AdminHandler())
 	hs := httptest.NewServer(inj.Middleware(mux))
 	t.Cleanup(hs.Close)

@@ -37,6 +37,11 @@ type Driver struct {
 	Workers int
 	// LeaseBatch is the max tasks leased per v2 round trip (default 32).
 	LeaseBatch int
+	// Proto selects the batch protocol every ME speaks: "v2" (JSON, the
+	// default — "" means v2) or "v3" (binary wire frames). The ingested
+	// dataset is identical either way (TestFleetProtoEquivalence); v3
+	// exists to cut control-plane CPU at fleet scale.
+	Proto string
 	// StreamLabel names the campaign's parent rng fork (default
 	// "fleet"; "table4" reproduces the in-process device campaign's
 	// streams exactly).
@@ -186,6 +191,11 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 			return nil, fmt.Errorf("fleet: no deployment for country %q", sc.ISO)
 		}
 	}
+	switch d.Proto {
+	case "", amigo.ProtoV2, amigo.ProtoV3:
+	default:
+		return nil, fmt.Errorf("fleet: unknown protocol %q (want v2 or v3)", d.Proto)
+	}
 	d.initObs()
 	client := d.client()
 
@@ -293,6 +303,7 @@ func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.
 	ep.Client = client
 	ep.Ctx = ctx
 	ep.Obs = d.Obs
+	ep.Proto = d.Proto
 	if d.Chaos != nil {
 		// Fault injection wraps this incarnation's transport; retry
 		// jitter draws from a stateless out-of-band stream so backoff

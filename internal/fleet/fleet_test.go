@@ -28,8 +28,8 @@ func testWorld(t testing.TB) *airalo.World {
 	return sharedWorld
 }
 
-// newControlServer stands up a full control server (v1+v2 + admin) the
-// way cmd/amigo-server wires it.
+// newControlServer stands up a full control server (v1+v2+v3 + admin)
+// the way cmd/amigo-server wires it.
 func newControlServer(t testing.TB, opts ...amigo.Option) (*amigo.Server, *httptest.Server) {
 	t.Helper()
 	srv := amigo.NewServer(nil, opts...)
@@ -37,6 +37,7 @@ func newControlServer(t testing.TB, opts ...amigo.Option) (*amigo.Server, *httpt
 	h := srv.Handler()
 	mux.Handle("/v1/", h)
 	mux.Handle("/v2/", h)
+	mux.Handle("/v3/", h)
 	mux.Handle("/admin/", srv.AdminHandler())
 	hs := httptest.NewServer(mux)
 	t.Cleanup(hs.Close)

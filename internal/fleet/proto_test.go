@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"roamsim/internal/amigo"
+	"roamsim/internal/chaos"
+)
+
+// runProtoCampaign is runChaosCampaign with the endpoint protocol
+// pinned: the same plan, seed, and stream label driven over the v2
+// JSON codec or the v3 binary codec, clean or under fault injection.
+func runProtoCampaign(t *testing.T, proto string, inj *chaos.Injector, workers int) (dsBlob []byte, table4, rtt string) {
+	t.Helper()
+	w := testWorld(t)
+	plan := chaosTestPlan()
+	var hs *httptest.Server
+	if inj != nil {
+		_, hs = newChaosControlServer(t, inj)
+	} else {
+		_, hs = newControlServer(t)
+	}
+	d := &Driver{BaseURL: hs.URL, Seed: testSeed, Workers: workers,
+		LeaseBatch: 4, StreamLabel: "chaos-eq", Heartbeat: true,
+		Chaos: inj, Proto: proto}
+	camp, err := d.Run(w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Ingest(w.Reg, camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, Table4(ds, plan).String(), RTTSummary(ds, plan).String()
+}
+
+// TestFleetProtoEquivalence is the codec differential test: the same
+// seeded campaign must ingest the byte-identical dataset, Table 4, and
+// RTT summary whether the fleet talks v2 JSON or v3 binary frames,
+// serially or in parallel, on a clean network or under chaos.Heavy.
+// The wire format is an encoding detail; it must never change data.
+func TestFleetProtoEquivalence(t *testing.T) {
+	wantDS, wantT4, wantRTT := runProtoCampaign(t, amigo.ProtoV2, nil, 1)
+	if len(wantDS) == 0 || wantT4 == "" || wantRTT == "" {
+		t.Fatal("empty baseline artifacts")
+	}
+	cases := []struct {
+		proto   string
+		chaos   bool
+		workers int
+	}{
+		{amigo.ProtoV3, false, 1},
+		{amigo.ProtoV3, false, 4},
+		{amigo.ProtoV2, false, 4},
+		{amigo.ProtoV2, true, 4},
+		{amigo.ProtoV3, true, 1},
+		{amigo.ProtoV3, true, 4},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s/chaos=%v/workers=%d", tc.proto, tc.chaos, tc.workers)
+		t.Run(name, func(t *testing.T) {
+			var inj *chaos.Injector
+			if tc.chaos {
+				inj = chaos.NewInjector(7, chaos.Heavy())
+			}
+			gotDS, gotT4, gotRTT := runProtoCampaign(t, tc.proto, inj, tc.workers)
+			if !bytes.Equal(gotDS, wantDS) {
+				msg := "dataset differs from v2 serial clean baseline"
+				if inj != nil {
+					msg += "\nfault trace:\n" + inj.TraceString()
+				}
+				t.Error(msg)
+			}
+			if gotT4 != wantT4 {
+				t.Errorf("Table 4 differs:\ngot:\n%s\nwant:\n%s", gotT4, wantT4)
+			}
+			if gotRTT != wantRTT {
+				t.Errorf("RTT summary differs:\ngot:\n%s\nwant:\n%s", gotRTT, wantRTT)
+			}
+			if inj != nil && len(inj.Events()) == 0 {
+				t.Error("chaos run injected zero faults; the test proved nothing")
+			}
+		})
+	}
+}
+
+// TestDriverRejectsUnknownProto pins the flag-validation contract so a
+// typo'd -proto fails fast instead of silently running v2.
+func TestDriverRejectsUnknownProto(t *testing.T) {
+	w := testWorld(t)
+	_, hs := newControlServer(t)
+	d := &Driver{BaseURL: hs.URL, Seed: testSeed, Proto: "v9"}
+	if _, err := d.Run(w, chaosTestPlan()); err == nil {
+		t.Fatal("Run accepted unknown protocol v9")
+	}
+}

@@ -46,6 +46,7 @@ var detSubtrees = []string{
 	"internal/vmnocore",    // VMNO core model
 	"internal/voip",        // VoIP campaign model
 	"internal/webcampaign", // web campaign model
+	"internal/wire",        // v3 codec: canonical bytes, no wall clock
 }
 
 // detFiles puts single files of otherwise out-of-scope packages in

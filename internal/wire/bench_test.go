@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Codec micro-benchmarks. All must report 0 allocs/op (run with
+// -benchmem); TestCodecZeroAlloc enforces the same bound in plain
+// `go test`.
+
+func benchTasks() []Task {
+	tasks := make([]Task, 32)
+	for i := range tasks {
+		tasks[i] = Task{ID: i + 1, Kind: "speedtest", Target: "sp-singapore", Config: "esim"}
+	}
+	return tasks
+}
+
+func benchResults() []Result {
+	rs := make([]Result, 32)
+	for i := range rs {
+		rs[i] = Result{TaskID: i + 1, ME: "me-PAK-000001", Kind: "speedtest",
+			Config: "esim", OK: true, Payload: []byte(`{"down_mbps":9.42,"up_mbps":3.11,"ping_ms":87}`)}
+	}
+	return rs
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	b.Run("lease", func(b *testing.B) {
+		req := LeaseRequest{ME: "me-PAK-000001", Max: 32, Ack: 512}
+		buf := make([]byte, 0, bufCap)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendLeaseRequest(buf[:0], req)
+		}
+	})
+	b.Run("tasks32", func(b *testing.B) {
+		tasks := benchTasks()
+		buf := make([]byte, 0, bufCap)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendTasks(buf[:0], tasks)
+		}
+	})
+	b.Run("results32", func(b *testing.B) {
+		rs := benchResults()
+		buf := make([]byte, 0, bufCap)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendResults(buf[:0], rs)
+		}
+	})
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	b.Run("lease", func(b *testing.B) {
+		frame := AppendLeaseRequest(nil, LeaseRequest{ME: "me-PAK-000001", Max: 32, Ack: 512})
+		d := NewDecoder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.LeaseRequest(frame[HeaderLen:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tasks32", func(b *testing.B) {
+		frame := AppendTasks(nil, benchTasks())
+		d := NewDecoder()
+		var dst []Task
+		var err error
+		if dst, err = d.Tasks(frame[HeaderLen:], dst); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dst, err = d.Tasks(frame[HeaderLen:], dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("results32", func(b *testing.B) {
+		frame := AppendResults(nil, benchResults())
+		d := NewDecoder()
+		var dst []Result
+		var err error
+		if dst, err = d.Results(frame[HeaderLen:], dst); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dst, err = d.Results(frame[HeaderLen:], dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkReadFrame(b *testing.B) {
+	frame := AppendTasks(nil, benchTasks())
+	rd := bytes.NewReader(frame)
+	buf := make([]byte, 0, bufCap)
+	var err error
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		if _, buf, err = ReadFrame(rd, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

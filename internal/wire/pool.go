@@ -1,0 +1,51 @@
+package wire
+
+import "sync"
+
+// Pools for the steady-state hot path. Buffers travel as *[]byte so
+// the pool's interface boxing doesn't itself allocate per Put
+// (SA6002); callers re-slice to [:0] on Get and hand the same pointer
+// back on Put.
+
+// bufCap is the initial capacity of pooled buffers: comfortably one
+// max-size lease batch (1024 tasks × tens of bytes) or a typical
+// result batch without growth.
+const bufCap = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, bufCap)
+		return &b
+	},
+}
+
+// GetBuf borrows a zero-length encode/read buffer from the pool.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool. The caller must not retain any
+// slice aliasing it (see Decoder.Results for the payload-aliasing
+// hazard this implies).
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > MaxFrame {
+		return // don't cache pathological growth
+	}
+	bufPool.Put(b)
+}
+
+var decPool = sync.Pool{
+	New: func() any { return NewDecoder() },
+}
+
+// GetDecoder borrows a Decoder (with its warm intern table) from the
+// pool.
+func GetDecoder() *Decoder { return decPool.Get().(*Decoder) }
+
+// PutDecoder returns a Decoder to the pool. Interned strings persist
+// across uses — that is the point: the fleet's vocabulary (ME names,
+// kinds, configs) is small and stable, so a recycled decoder decodes
+// without allocating.
+func PutDecoder(d *Decoder) { decPool.Put(d) }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench_fleet.sh — run BenchmarkFleetThroughput for every protocol at
+# 100 and 1000 MEs and snapshot the results/s figures into a JSON file
+# (default BENCH_fleet.json). CI uploads the file as an artifact so
+# control-plane throughput is comparable commit over commit.
+#
+# Usage: bench_fleet.sh [OUT.json]
+#
+# The snapshot also records the v3/v2 speedup at 1000 MEs; the
+# acceptance floor for the zero-allocation binary codec is 3x.
+set -euo pipefail
+
+OUT="${1:-BENCH_fleet.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+# -short skips the 10k-ME rows (minutes of wall clock); 100/1000 MEs
+# are the rows the acceptance gate and the README table quote.
+go test -short -run='^$' -bench=FleetThroughput -benchtime=1x \
+    ./internal/fleet | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkFleetThroughput/v3/mes=1000-8  1  123456 ns/op  232075 results/s
+awk '
+BEGIN { print "{"; first = 1 }
+/^BenchmarkFleetThroughput\// {
+    split($1, parts, "/")
+    proto = parts[2]
+    sub(/-[0-9]+$/, "", parts[3])  # strip -GOMAXPROCS suffix
+    mes = parts[3]; sub(/^mes=/, "", mes)
+    for (i = 2; i < NF; i++) if ($(i + 1) == "results/s") rate = $i
+    key = proto "/mes=" mes
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": %s", key, rate
+    rates[key] = rate
+}
+END {
+    if (("v2/mes=1000" in rates) && ("v3/mes=1000" in rates) && rates["v2/mes=1000"] > 0)
+        printf ",\n  \"v3_over_v2_at_1000\": %.2f", rates["v3/mes=1000"] / rates["v2/mes=1000"]
+    print "\n}"
+}
+' "$RAW" > "$OUT"
+
+echo "bench-fleet: wrote $OUT"
+cat "$OUT"
