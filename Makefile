@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke fuzz-short
+.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke fuzz-short
 
 ## verify: the CI entry point — vet, the roamvet determinism/hygiene
 ## analyzers, build, race-enabled tests, a one-iteration fleet
 ## throughput smoke (v1/v2/v3 protocol paths), the chaos differential
-## suite under the race detector, and the observability endpoint smoke.
-verify: vet lint build race bench-fleet chaos-smoke metrics-smoke
+## suite under the race detector, the observability endpoint smoke, and
+## the sharded control-plane / WAL durability smoke.
+verify: vet lint build race bench-fleet chaos-smoke metrics-smoke shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +65,15 @@ chaos-smoke:
 metrics-smoke:
 	bash scripts/metrics_smoke.sh
 
+## shard-smoke: the sharded control plane end to end — the differential
+## and crash-recovery suites under the race detector, then the real
+## binaries: roam-fleet killing a shard mid-campaign with -crosscheck,
+## and a roam-gateway process killed and cold-restarted over its WALs.
+shard-smoke:
+	$(GO) test -race -run 'TestSharded|TestShardCrash|TestShardKill' ./internal/fleet
+	$(GO) test -race ./internal/walsink ./internal/shard
+	bash scripts/shard_smoke.sh
+
 ## fuzz-short: a 10s budget per native fuzz target, on top of the
 ## checked-in seed corpora (which always run as part of plain `go test`).
 fuzz-short:
@@ -71,3 +81,4 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzLeaseDecode -fuzztime=10s -run=^$$ ./internal/amigo
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run=^$$ ./internal/wire
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s -run=^$$ ./internal/wire
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s -run=^$$ ./internal/walsink

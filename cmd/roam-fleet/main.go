@@ -15,6 +15,7 @@
 //	           [-workers N] [-lease K] [-proto v2|v3] [-reps N]
 //	           [-configs sim,esim] [-crosscheck] [-chaos light|heavy]
 //	           [-chaos-seed N] [-straggler DUR] [-metrics]
+//	           [-shards N] [-wal-dir DIR] [-kill-shard N]
 //
 // -proto selects the lease/upload codec: v2 (JSON, the default) or v3
 // (length-prefixed binary frames, see internal/wire). The codec is an
@@ -41,6 +42,16 @@
 // and the injected fault schedule replays exactly for a given
 // -chaos-seed. Chaos requires the self-hosted server (the storm
 // middleware must wrap the handler).
+//
+// With -shards N the self-hosted control plane is horizontally sharded:
+// N independent amigo servers behind a consistent-hash gateway (see
+// internal/shard). -wal-dir gives every shard a durable write-ahead
+// result log (see internal/walsink) under <dir>/shard-<i>. -kill-shard
+// kills the given shard once, right after it accepts its first upload —
+// its registry, queues and idempotency state are dropped wholesale and
+// a fresh server is brought up over the same WAL; MEs rediscover the
+// shard and re-register, and the ingested dataset must still be
+// byte-identical (pair with -crosscheck to prove it end to end).
 package main
 
 import (
@@ -74,6 +85,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (0 = use -seed); same seed replays the same faults")
 	straggler := flag.Duration("straggler", 0, "per-ME-incarnation watchdog; a stuck ME is killed and restarted (0 = off)")
 	metrics := flag.Bool("metrics", false, "instrument the run and dump the Prometheus exposition to stdout at the end")
+	shards := flag.Int("shards", 1, "self-hosted control-plane shard count (>1 = consistent-hash gateway over N servers)")
+	walDir := flag.String("wal-dir", "", "durable WAL directory for shard result sinks (empty = in-memory sinks)")
+	killShard := flag.Int("kill-shard", -1, "kill this shard once after its first accepted upload (-1 = off); requires -shards > 1")
 	flag.Parse()
 
 	plan := fleet.DeviceCampaignPlan()
@@ -113,15 +127,29 @@ func main() {
 		fleet.RegisterNetObs(reg, w.Net)
 	}
 
+	sharded := *shards > 1 || *walDir != "" || *killShard >= 0
+	if sharded && *server != "" {
+		fatal(fmt.Errorf("-shards/-wal-dir/-kill-shard configure the self-hosted control plane; drop -server"))
+	}
+	if *killShard >= *shards {
+		fatal(fmt.Errorf("-kill-shard %d out of range for -shards %d", *killShard, *shards))
+	}
+
 	baseURL := *server
+	var sf *fleet.ShardedFleet
 	if baseURL == "" {
-		url, shutdown, err := selfHost(inj, reg)
+		url, shutdown, f, err := selfHost(inj, reg, *shards, *walDir, *killShard)
 		if err != nil {
 			fatal(err)
 		}
 		defer shutdown()
 		baseURL = url
-		fmt.Printf("self-hosted control server at %s\n", baseURL)
+		sf = f
+		if sf != nil {
+			fmt.Printf("self-hosted sharded control plane (%d shards) at %s\n", *shards, baseURL)
+		} else {
+			fmt.Printf("self-hosted control server at %s\n", baseURL)
+		}
 	}
 
 	d := &fleet.Driver{
@@ -152,6 +180,22 @@ func main() {
 	if inj != nil {
 		fmt.Printf("chaos: %s mode, seed %d: injected %d faults; dataset is byte-identical to the clean run\n",
 			*chaosMode, inj.Seed(), len(inj.Events()))
+	}
+	if sf != nil {
+		records, segments, bytes := 0, 0, int64(0)
+		for i := 0; i < *shards; i++ {
+			if wal := sf.WAL(i); wal != nil {
+				records += wal.Len()
+				n, b := wal.Segments()
+				segments += n
+				bytes += b
+			}
+		}
+		fmt.Printf("shards: %d shards, %d killed and recovered", *shards, sf.Kills())
+		if *walDir != "" {
+			fmt.Printf("; WAL: %d results in %d segments (%d bytes) under %s", records, segments, bytes, *walDir)
+		}
+		fmt.Println()
 	}
 	fmt.Println()
 	fmt.Println(fleet.Table4(ds, camp.Plan).String())
@@ -190,26 +234,48 @@ func main() {
 	}
 }
 
-// selfHost starts an AmiGo control server on an ephemeral loopback port
-// and returns its base URL plus a shutdown func. A non-nil injector
-// wraps the handler with server-side storm middleware (admin traffic
-// carries no chaos header and passes through untouched); a non-nil
-// registry instruments the server and is served at /admin/metrics.
-func selfHost(inj *chaos.Injector, reg *obs.Registry) (string, func(), error) {
+// selfHost starts the control plane on an ephemeral loopback port and
+// returns its base URL plus a shutdown func. With shards > 1 (or a WAL
+// dir, or a kill request) the plane is a sharded fleet behind the
+// consistent-hash gateway and the *fleet.ShardedFleet is returned too;
+// otherwise it is a single amigo server and the fleet is nil. A non-nil
+// injector wraps the handler with server-side storm middleware (admin
+// traffic carries no chaos header and passes through untouched); a
+// non-nil registry instruments the plane and is served at
+// /admin/metrics.
+func selfHost(inj *chaos.Injector, reg *obs.Registry, shards int, walDir string, killShard int) (string, func(), *fleet.ShardedFleet, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
-	srv := amigo.NewServer(nil, amigo.WithObs(reg))
-	mux := http.NewServeMux()
-	h := srv.Handler()
-	mux.Handle("/v1/", h)
-	mux.Handle("/v2/", h)
-	mux.Handle("/v3/", h)
-	mux.Handle("/admin/", srv.AdminHandler())
-	var handler http.Handler = mux
+	var handler http.Handler
+	var sf *fleet.ShardedFleet
+	if shards > 1 || walDir != "" || killShard >= 0 {
+		sf, err = fleet.NewShardedFleet(fleet.ShardedConfig{
+			Shards:         shards,
+			WALDir:         walDir,
+			Chaos:          inj,
+			ForceKill:      killShard >= 0,
+			ForceKillShard: killShard,
+			Obs:            reg,
+		})
+		if err != nil {
+			ln.Close()
+			return "", nil, nil, err
+		}
+		handler = sf.Handler()
+	} else {
+		srv := amigo.NewServer(nil, amigo.WithObs(reg))
+		mux := http.NewServeMux()
+		h := srv.Handler()
+		mux.Handle("/v1/", h)
+		mux.Handle("/v2/", h)
+		mux.Handle("/v3/", h)
+		mux.Handle("/admin/", srv.AdminHandler())
+		handler = mux
+	}
 	if inj != nil {
-		handler = inj.Middleware(mux)
+		handler = inj.Middleware(handler)
 	}
 	hs := &http.Server{
 		Handler:           handler,
@@ -219,7 +285,13 @@ func selfHost(inj *chaos.Injector, reg *obs.Registry) (string, func(), error) {
 		IdleTimeout:       120 * time.Second,
 	}
 	go hs.Serve(ln)
-	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+	shutdown := func() {
+		hs.Close()
+		if sf != nil {
+			sf.Close()
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown, sf, nil
 }
 
 func splitList(s string) []string {

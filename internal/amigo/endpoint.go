@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -75,6 +76,24 @@ func (b Backoff) delay(attempt int, hint time.Duration) time.Duration {
 		d = time.Duration(b.Jitter.Uniform(0.5, 1.5) * float64(d))
 	}
 	return d
+}
+
+// ErrUnknownME is wrapped into any control-plane error caused by an
+// HTTP 404: the server does not know this ME. In a sharded deployment
+// that is the signature of a control-shard crash — the replacement
+// shard lost every registration — and the fleet driver treats it as
+// recoverable (re-register, re-schedule under the original task IDs,
+// replay). Test with errors.Is.
+var ErrUnknownME = errors.New("amigo: server does not know this ME")
+
+// httpStatusErr builds the error for a non-2xx control-plane response,
+// wrapping ErrUnknownME for 404 so callers can detect lost
+// registrations with errors.Is instead of parsing messages.
+func httpStatusErr(op string, code int) error {
+	if code == http.StatusNotFound {
+		return fmt.Errorf("amigo: %s: HTTP %d: %w", op, code, ErrUnknownME)
+	}
+	return fmt.Errorf("amigo: %s: HTTP %d", op, code)
 }
 
 // Endpoint is a measurement endpoint: the rooted-phone replacement that
@@ -287,7 +306,7 @@ func (e *Endpoint) post(path string, body any) error {
 		case retryableStatus(resp.StatusCode):
 			return false, wait, fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
 		default:
-			return true, 0, fmt.Errorf("amigo: %s: HTTP %d", path, resp.StatusCode)
+			return true, 0, httpStatusErr(path, resp.StatusCode)
 		}
 	})
 }
@@ -365,7 +384,7 @@ func (e *Endpoint) RunOnce() (bool, error) {
 	default:
 		code := resp.StatusCode
 		drainClose(resp)
-		return false, fmt.Errorf("amigo: tasks: HTTP %d", code)
+		return false, httpStatusErr("tasks", code)
 	}
 	var task Task
 	err = json.NewDecoder(resp.Body).Decode(&task)
@@ -414,7 +433,7 @@ func (e *Endpoint) Lease(max int) ([]Task, error) {
 			if retryableStatus(resp.StatusCode) {
 				return false, wait, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
 			}
-			return true, 0, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+			return true, 0, httpStatusErr("lease", resp.StatusCode)
 		}
 		var got []Task
 		err = json.NewDecoder(resp.Body).Decode(&got)
@@ -473,7 +492,7 @@ func (e *Endpoint) Upload(results []Result) error {
 		case retryableStatus(resp.StatusCode):
 			return false, wait, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
 		default:
-			return true, 0, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
+			return true, 0, httpStatusErr("results", resp.StatusCode)
 		}
 	})
 }

@@ -46,7 +46,7 @@ func (e *Endpoint) leaseV3(max int) ([]Task, error) {
 			if retryableStatus(resp.StatusCode) {
 				return false, wait, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
 			}
-			return true, 0, fmt.Errorf("amigo: lease: HTTP %d", resp.StatusCode)
+			return true, 0, httpStatusErr("lease", resp.StatusCode)
 		}
 		rbuf := wire.GetBuf()
 		h, payload, err := wire.ReadFrame(resp.Body, (*rbuf)[:0])
@@ -102,7 +102,7 @@ func (e *Endpoint) uploadV3(results []Result) error {
 		case retryableStatus(resp.StatusCode):
 			return false, wait, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
 		default:
-			return true, 0, fmt.Errorf("amigo: results: HTTP %d", resp.StatusCode)
+			return true, 0, httpStatusErr("results", resp.StatusCode)
 		}
 	})
 }

@@ -148,7 +148,7 @@ type Server struct {
 
 	drainMu sync.Mutex
 	sink    Sink
-	mem     *MemorySink // nil when a custom non-memory sink is installed
+	cur     CursorSink // nil when the sink supports no cursor reads
 
 	idemMu   sync.Mutex
 	idemSeen map[string]struct{} // guarded by idemMu
@@ -178,13 +178,15 @@ type serverMetrics struct {
 // Option configures a Server.
 type Option func(*Server)
 
-// WithSink replaces the default MemorySink. With a custom sink the
-// server no longer retains results itself: Results and ResultsSince
-// return nothing unless the sink is a *MemorySink.
+// WithSink replaces the default MemorySink. The server itself retains
+// nothing: Results / ResultsSince / Cursor are served by the sink when
+// it implements CursorSink (MemorySink and walsink.Sink do), and the
+// admin results route answers 501 when it does not — a write-only sink
+// is a configuration the operator should see, not an empty page.
 func WithSink(sink Sink) Option {
 	return func(s *Server) {
 		s.sink = sink
-		s.mem, _ = sink.(*MemorySink)
+		s.cur, _ = sink.(CursorSink)
 	}
 }
 
@@ -249,7 +251,7 @@ func NewServer(clock func() time.Time, opts ...Option) *Server {
 		maxProto:   3,
 		spoolCap:   defaultSpoolCap,
 		sink:       mem,
-		mem:        mem,
+		cur:        mem,
 		idemSeen:   map[string]struct{}{},
 	}
 	for _, opt := range opts {
@@ -308,7 +310,13 @@ func (s *Server) Schedule(me string, task Task) (int, error) {
 }
 
 // ScheduleBatch queues tasks for the named ME in order and returns their
-// IDs. IDs are globally unique and monotonically increasing per ME.
+// IDs. Tasks with ID 0 get fresh server-assigned IDs (globally unique,
+// monotonically increasing per ME); a task carrying a positive ID keeps
+// it, and the allocator advances past it so later fresh IDs never
+// collide. Pre-set IDs are how the fleet driver re-schedules an ME on a
+// replacement control shard after a crash: the re-executed tasks upload
+// under their original (ME, task ID), so ingest dedup absorbs the
+// replay instead of double-counting it.
 func (s *Server) ScheduleBatch(me string, tasks []Task) ([]int, error) {
 	sh := s.shardFor(me)
 	sh.mu.Lock()
@@ -319,12 +327,27 @@ func (s *Server) ScheduleBatch(me string, tasks []Task) ([]int, error) {
 	}
 	ids := make([]int, len(tasks))
 	for i, t := range tasks {
-		t.ID = int(s.nextID.Add(1))
+		if t.ID > 0 {
+			s.reserveID(int64(t.ID))
+		} else {
+			t.ID = int(s.nextID.Add(1))
+		}
 		st.queue = append(st.queue, t)
 		ids[i] = t.ID
 	}
 	s.met.scheduled.Add(int64(len(tasks)))
 	return ids, nil
+}
+
+// reserveID advances the ID allocator to at least id, so explicitly
+// scheduled IDs and fresh ones never collide.
+func (s *Server) reserveID(id int64) {
+	for {
+		cur := s.nextID.Load()
+		if cur >= id || s.nextID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
 }
 
 // Lease pops up to max queued tasks for the named ME, in queue order.
@@ -513,30 +536,45 @@ func (s *Server) SpoolDepth() int {
 	return len(s.spool)
 }
 
-// Results returns a copy of every retained result (MemorySink only).
+// Results returns a copy of every retained result. It pages through
+// ResultsSince because a disk-backed CursorSink may serve bounded pages
+// rather than the whole history in one call.
 func (s *Server) Results() []Result {
-	rs, _ := s.ResultsSince(0)
-	return rs
+	var out []Result
+	cursor := 0
+	for {
+		rs, next := s.ResultsSince(cursor)
+		if len(rs) == 0 || next <= cursor {
+			return out
+		}
+		out = append(out, rs...)
+		cursor = next
+	}
 }
 
 // ResultsSince returns the retained results at positions >= cursor and
-// the cursor one past the newest result, so pollers can read
-// incrementally instead of copying the whole history each time. It
-// returns nothing when a custom non-memory sink is installed.
+// the cursor one past the last returned result (which may trail the
+// newest: a disk-backed sink serves bounded pages — loop until the
+// cursor stops advancing). It returns nothing when the installed sink
+// is not a CursorSink; HTTP callers get 501 instead (SupportsCursor).
 func (s *Server) ResultsSince(cursor int) ([]Result, int) {
-	if s.mem == nil {
+	if s.cur == nil {
 		return nil, 0
 	}
-	return s.mem.Since(cursor)
+	return s.cur.Since(cursor)
 }
 
 // Cursor returns the current result cursor (see ResultsSince).
 func (s *Server) Cursor() int {
-	if s.mem == nil {
+	if s.cur == nil {
 		return 0
 	}
-	return s.mem.Len()
+	return s.cur.Len()
 }
+
+// SupportsCursor reports whether the installed sink can serve cursor
+// reads (Results / ResultsSince / GET /admin/results).
+func (s *Server) SupportsCursor() bool { return s.cur != nil }
 
 // MEs lists registered endpoints, sorted.
 func (s *Server) MEs() []string {
@@ -862,6 +900,10 @@ func (s *Server) AdminHandler() http.Handler {
 		s.writeJSON(w, map[string]any{"task_ids": ids})
 	})
 	s.instrument(mux, "GET /admin/results", func(w http.ResponseWriter, r *http.Request) {
+		if !s.SupportsCursor() {
+			http.Error(w, "results not readable: installed sink has no cursor support", http.StatusNotImplemented)
+			return
+		}
 		q := r.URL.Query()
 		cursor, _ := strconv.Atoi(q.Get("cursor"))
 		limit, _ := strconv.Atoi(q.Get("limit"))

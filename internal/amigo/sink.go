@@ -10,6 +10,23 @@ type Sink interface {
 	Append(batch []Result)
 }
 
+// CursorSink is a Sink that can also be read back incrementally by
+// cursor, which is what backs Server.Results / Server.ResultsSince and
+// the paged GET /admin/results route. MemorySink and walsink.Sink both
+// implement it; a write-only Sink (a forwarding pipe, say) may not, in
+// which case the admin results route answers 501 instead of silently
+// serving an empty page.
+type CursorSink interface {
+	Sink
+	// Since returns results at positions >= cursor plus the cursor one
+	// past the last returned result. Implementations MAY return a
+	// bounded page rather than everything retained (a disk-backed sink
+	// does); callers must loop until the cursor stops advancing.
+	Since(cursor int) ([]Result, int)
+	// Len is the cursor one past the newest retained result.
+	Len() int
+}
+
 // MemorySink is the default sink: it retains every drained result in
 // arrival order and supports incremental cursor reads, which is what
 // backs Server.Results and Server.ResultsSince.

@@ -97,6 +97,15 @@ type Config struct {
 	// MaxCrashes caps injected crashes per ME (default 1 when Crash>0)
 	// so campaigns always terminate.
 	MaxCrashes int
+	// ShardKill is P(a control-plane shard dies after accepting an
+	// upload), sampled once per accepted upload by the sharded fleet
+	// harness. A killed shard loses all in-memory state (registry,
+	// queues, idempotency keys) and comes back as a fresh server wired
+	// to its surviving WAL.
+	ShardKill float64
+	// MaxShardKills caps injected shard kills fleet-wide (default 1
+	// when ShardKill>0) so campaigns always terminate.
+	MaxShardKills int
 }
 
 // Light is a mild preset: occasional resets, latency and storms, one
@@ -131,6 +140,16 @@ func (c Config) maxCrashes() int {
 	return 0
 }
 
+func (c Config) maxShardKills() int {
+	if c.MaxShardKills > 0 {
+		return c.MaxShardKills
+	}
+	if c.ShardKill > 0 {
+		return 1
+	}
+	return 0
+}
+
 // Event is one injected fault. The trace of all events in canonical
 // order is the campaign's fault schedule.
 type Event struct {
@@ -152,19 +171,20 @@ type Injector struct {
 	seed int64
 	cfg  Config
 
-	mu      sync.Mutex
-	events  []Event
-	meSeq   map[string]int // per-ME append order, for canonical sorting
-	crashes map[string]int // injected crashes so far, per ME
-	mwSeen  map[string]int // per-(ME, op) middleware attempt counters
-	faults  map[string]int // injected faults so far, per kind
+	mu         sync.Mutex
+	events     []Event
+	meSeq      map[string]int // per-ME append order, for canonical sorting
+	crashes    map[string]int // injected crashes so far, per ME
+	mwSeen     map[string]int // per-(ME, op) middleware attempt counters
+	faults     map[string]int // injected faults so far, per kind
+	shardKills int            // injected shard kills so far, fleet-wide
 }
 
 // FaultKinds are the fault labels an Injector can record, in canonical
 // order — the label set for per-kind fault metrics (see Counts).
 var FaultKinds = []string{
 	"latency", "reset-before", "reset-after", "duplicate", "truncate",
-	"crash", "503", "429",
+	"crash", "shard-kill", "503", "429",
 }
 
 // NewInjector returns an Injector for the given seed and fault config.
@@ -250,6 +270,38 @@ func (inj *Injector) MaybeCrash(me string, inc, round int) bool {
 	inj.crashes[me]++
 	inj.mu.Unlock()
 	inj.record(Event{ME: me, Inc: inc, Op: "crash", Attempt: round, Fault: "crash"})
+	return true
+}
+
+// MaybeKillShard decides whether control-plane shard `shard` dies
+// after accepting its upload-th result upload. Like every other fault
+// it draws from a stateless labeled stream keyed on (shard, upload),
+// so the decision for "shard s's Nth accepted upload" is a pure
+// function of the seed. With one fleet worker the upload order itself
+// is deterministic and the whole kill schedule replays exactly; with
+// concurrent workers, WHICH ME's upload is the Nth depends on
+// interleaving, so the kill lands at a varying campaign moment — the
+// ingested dataset is invariant either way (that is the contract shard
+// kills are tested against), only the fault trace moves. The
+// fleet-wide kill budget keeps campaigns terminating.
+func (inj *Injector) MaybeKillShard(shard, upload int) bool {
+	if inj.cfg.ShardKill <= 0 {
+		return false
+	}
+	inj.mu.Lock()
+	budget := inj.shardKills < inj.cfg.maxShardKills()
+	inj.mu.Unlock()
+	if !budget {
+		return false
+	}
+	src := rng.Stream(inj.seed, fmt.Sprintf("chaos/shardkill/%d/%d", shard, upload))
+	if !src.Bool(inj.cfg.ShardKill) {
+		return false
+	}
+	inj.mu.Lock()
+	inj.shardKills++
+	inj.mu.Unlock()
+	inj.record(Event{ME: fmt.Sprintf("shard-%d", shard), Op: "shard-kill", Attempt: upload, Fault: "shard-kill"})
 	return true
 }
 

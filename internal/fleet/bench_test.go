@@ -29,13 +29,19 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				if mes >= 10000 && testing.Short() {
 					b.Skip("10k MEs skipped in -short smoke runs")
 				}
-				benchThroughput(b, mes, proto)
+				benchThroughput(b, mes, proto, 1)
 			})
 		}
 	}
+	// The sharded row: the same v3 drain through a 4-shard gateway
+	// (in-memory sinks), isolating the routing-peek overhead and the
+	// registry/queue contention relief that sharding buys.
+	b.Run("v3-shards4/mes=1000", func(b *testing.B) {
+		benchThroughput(b, 1000, "v3", 4)
+	})
 }
 
-func benchThroughput(b *testing.B, mes int, proto string) {
+func benchThroughput(b *testing.B, mes int, proto string, shards int) {
 	// The device campaign schedules 72 tasks per ME (9 tools x 2
 	// configs x 4 reps); 64 approximates that realistic backlog while
 	// keeping the 10k-ME case tractable.
@@ -43,8 +49,24 @@ func benchThroughput(b *testing.B, mes int, proto string) {
 	const workers = 32
 	const leaseBatch = 64
 
-	srv := amigo.NewServer(nil)
-	hs := httptest.NewServer(srv.Handler())
+	// serverFor maps an ME to the amigo server owning it, so register
+	// and schedule skip HTTP; the timed drain goes over the wire (and,
+	// when sharded, through the gateway's routing peek).
+	var serverFor func(me string) *amigo.Server
+	var hs *httptest.Server
+	if shards > 1 {
+		f, err := NewShardedFleet(ShardedConfig{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ring := f.Ring()
+		serverFor = func(me string) *amigo.Server { return f.Server(ring.Shard(me)) }
+		hs = httptest.NewServer(f.Handler())
+	} else {
+		srv := amigo.NewServer(nil)
+		serverFor = func(string) *amigo.Server { return srv }
+		hs = httptest.NewServer(srv.Handler())
+	}
 	defer hs.Close()
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        workers * 2,
@@ -75,7 +97,7 @@ func benchThroughput(b *testing.B, mes int, proto string) {
 	}
 	for i := range names {
 		names[i] = fmt.Sprintf("me-%05d", i)
-		srv.Register(names[i], "PAK")
+		serverFor(names[i]).Register(names[i], "PAK")
 	}
 
 	post := func(path string, body any) (*http.Response, error) {
@@ -220,7 +242,7 @@ func benchThroughput(b *testing.B, mes int, proto string) {
 	for n := 0; n < b.N; n++ {
 		b.StopTimer()
 		for _, name := range names {
-			if _, err := srv.ScheduleBatch(name, taskTmpl); err != nil {
+			if _, err := serverFor(name).ScheduleBatch(name, taskTmpl); err != nil {
 				b.Fatal(err)
 			}
 		}

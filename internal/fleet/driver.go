@@ -82,22 +82,24 @@ type Driver struct {
 // driverMetrics are the fleet campaign counters, created once per Run
 // so the per-ME and per-batch paths touch only atomics.
 type driverMetrics struct {
-	incarnations  *obs.Counter // ME lifetimes started (first runs + restarts)
-	crashRestarts *obs.Counter // restarts caused by injected crashes
-	watchdogKills *obs.Counter // stragglers cancelled and restarted
-	tasksExecuted *obs.Counter // tasks executed across all MEs
-	meFailures    *obs.Counter // MEs whose lifecycle ended in an error
+	incarnations    *obs.Counter // ME lifetimes started (first runs + restarts)
+	crashRestarts   *obs.Counter // restarts caused by injected crashes
+	watchdogKills   *obs.Counter // stragglers cancelled and restarted
+	tasksExecuted   *obs.Counter // tasks executed across all MEs
+	meFailures      *obs.Counter // MEs whose lifecycle ended in an error
+	shardRecoveries *obs.Counter // re-register/re-schedule cycles after a shard lost its state
 }
 
 // initObs creates the metric handles (nil no-ops when no registry is
 // attached) and registers the chaos fault-count gauges.
 func (d *Driver) initObs() {
 	d.met = driverMetrics{
-		incarnations:  d.Obs.Counter("fleet_incarnations_total"),
-		crashRestarts: d.Obs.Counter("fleet_crash_restarts_total"),
-		watchdogKills: d.Obs.Counter("fleet_watchdog_kills_total"),
-		tasksExecuted: d.Obs.Counter("fleet_tasks_executed_total"),
-		meFailures:    d.Obs.Counter("fleet_me_failures_total"),
+		incarnations:    d.Obs.Counter("fleet_incarnations_total"),
+		crashRestarts:   d.Obs.Counter("fleet_crash_restarts_total"),
+		watchdogKills:   d.Obs.Counter("fleet_watchdog_kills_total"),
+		tasksExecuted:   d.Obs.Counter("fleet_tasks_executed_total"),
+		meFailures:      d.Obs.Counter("fleet_me_failures_total"),
+		shardRecoveries: d.Obs.Counter("fleet_shard_recoveries_total"),
 	}
 	if d.Obs != nil && d.Chaos != nil {
 		inj := d.Chaos
@@ -257,11 +259,29 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 // schedule from a recreated rng stream; the schedule is only POSTed
 // once — later incarnations ask the server to re-deliver it instead, so
 // task IDs (and therefore idempotency keys) are stable across restarts.
+//
+// Shard recovery: when the control plane answers "unknown ME"
+// (amigo.ErrUnknownME) mid-campaign, the shard that knew this ME has
+// lost its in-memory state — a killed shard came back as a fresh
+// server over its surviving WAL. The next incarnation re-registers and
+// re-POSTs the schedule with the task IDs pinned from the first
+// schedule, so re-executed uploads carry the same (ME, TaskID)
+// identities and dedup to nothing at ingest.
 func (d *Driver) runME(client *http.Client, sc MESchedule, dep *airalo.Deployment, seed int64) error {
 	scheduled := false
+	recoveries := 0
+	tasks := append([]amigo.Task(nil), sc.Tasks...)
 	for inc := 0; ; inc++ {
-		crashed, err := d.runIncarnation(client, sc, dep, seed, inc, &scheduled)
+		crashed, err := d.runIncarnation(client, sc, dep, seed, inc, &scheduled, tasks)
 		if err != nil {
+			if errors.Is(err, amigo.ErrUnknownME) && recoveries < d.restartBudget() {
+				recoveries++
+				scheduled = false // re-register and re-schedule with pinned IDs
+				d.met.shardRecoveries.Add(1)
+				d.Obs.Trace().Record("shard-recover",
+					obs.L("me", sc.Name), obs.L("inc", fmt.Sprint(inc)))
+				continue
+			}
 			if d.Straggler > 0 && errors.Is(err, context.DeadlineExceeded) && inc < d.restartBudget() {
 				d.met.watchdogKills.Add(1)
 				d.Obs.Trace().Record("watchdog-kill",
@@ -286,7 +306,9 @@ func (d *Driver) runME(client *http.Client, sc MESchedule, dep *airalo.Deploymen
 // (POST it the first time, re-deliver it after a crash), optionally
 // heartbeat, then lease/execute/upload until drained. It reports
 // crashed=true when the chaos injector kills the ME between batches.
-func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.Deployment, seed int64, inc int, scheduled *bool) (crashed bool, err error) {
+// The first successful schedule pins the server-assigned task IDs into
+// tasks (in place), so a shard-recovery re-schedule reuses them.
+func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.Deployment, seed int64, inc int, scheduled *bool, tasks []amigo.Task) (crashed bool, err error) {
 	ctx := context.Background()
 	if d.Straggler > 0 {
 		var cancel context.CancelFunc
@@ -316,8 +338,14 @@ func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.
 		return false, err
 	}
 	if !*scheduled {
-		if err := d.scheduleBatch(client, sc.Name, sc.Tasks); err != nil {
+		ids, err := d.scheduleBatch(client, sc.Name, tasks)
+		if err != nil {
 			return false, err
+		}
+		if len(ids) == len(tasks) {
+			for i := range tasks {
+				tasks[i].ID = ids[i]
+			}
 		}
 		*scheduled = true
 	} else if err := ep.Redeliver(); err != nil {
@@ -351,20 +379,33 @@ func drainBody(body io.ReadCloser) {
 	body.Close()
 }
 
-func (d *Driver) scheduleBatch(client *http.Client, me string, tasks []amigo.Task) error {
+// scheduleBatch POSTs the ME's schedule and returns the task IDs the
+// server assigned (or honored, when the tasks carried pinned IDs).
+func (d *Driver) scheduleBatch(client *http.Client, me string, tasks []amigo.Task) ([]int, error) {
 	buf, err := json.Marshal(map[string]any{"me": me, "tasks": tasks})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := client.Post(d.BaseURL+"/admin/schedule", "application/json", bytes.NewReader(buf))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	drainBody(resp.Body)
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("fleet: schedule %s: HTTP %d", me, resp.StatusCode)
+		drainBody(resp.Body)
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, fmt.Errorf("fleet: schedule %s: HTTP %d: %w", me, resp.StatusCode, amigo.ErrUnknownME)
+		}
+		return nil, fmt.Errorf("fleet: schedule %s: HTTP %d", me, resp.StatusCode)
 	}
-	return nil
+	var out struct {
+		TaskIDs []int `json:"task_ids"`
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&out)
+	drainBody(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: schedule %s: decoding response: %w", me, err)
+	}
+	return out.TaskIDs, nil
 }
 
 type resultsPage struct {

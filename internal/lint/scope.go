@@ -40,11 +40,13 @@ var detSubtrees = []string{
 	"internal/obs",         // exposition must be canonical
 	"internal/report",      // table rendering
 	"internal/rng",         // the rng discipline itself
+	"internal/shard",       // placement must be a pure function of ME name
 	"internal/signaling",   // SS7/Diameter model
 	"internal/stats",       // summary statistics
 	"internal/video",       // video campaign model
 	"internal/vmnocore",    // VMNO core model
 	"internal/voip",        // VoIP campaign model
+	"internal/walsink",     // WAL bytes are canonical; fsync timing is allow-listed
 	"internal/webcampaign", // web campaign model
 	"internal/wire",        // v3 codec: canonical bytes, no wall clock
 }

@@ -1,0 +1,417 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"roamsim/internal/obs"
+	"roamsim/internal/wire"
+)
+
+// maxBody bounds how much of a request body the gateway buffers for the
+// routing peek. It matches the largest legitimate upload (a full
+// campaign's worth of payloads is far smaller); anything bigger is
+// refused before a byte reaches a shard.
+const maxBody = 64 << 20
+
+// routes the gateway understands, in the order they appear in the
+// per-shard request counters.
+var routeNames = []string{
+	"v1/register", "v1/status", "v1/tasks", "v1/results",
+	"v2/lease", "v2/requeue", "v2/results",
+	"v3/lease", "v3/results",
+	"admin/schedule",
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// Obs, when set, receives gateway metrics: per-shard per-route
+	// request counters and admin merge counters. The registry also backs
+	// the gateway's own GET /admin/metrics and /admin/trace routes.
+	Obs *obs.Registry
+}
+
+// Gateway fronts N shard backends with the single-server HTTP surface:
+// MEs talk to one base URL and never learn the topology. Every data-
+// plane request is routed whole to the ME's owning shard (no fan-out on
+// the hot path); the admin read routes merge across shards in canonical
+// shard-index order. Backends are swappable at runtime (SetBackend),
+// which is how a killed shard's replacement server goes live.
+type Gateway struct {
+	ring *Ring
+	obs  *obs.Registry
+
+	mu       sync.RWMutex
+	backends []http.Handler // guarded by mu (swapped whole, never mutated)
+
+	reqs [][]*obs.Counter // [shard][route] request counters
+	mux  *http.ServeMux
+}
+
+// NewGateway builds a gateway over the given backends — typically each
+// an amigo Server's Handler()+AdminHandler() composite (see Mount). The
+// ring is derived from len(backends).
+func NewGateway(backends []http.Handler, opts Options) *Gateway {
+	if len(backends) == 0 {
+		panic("shard: NewGateway needs at least one backend")
+	}
+	g := &Gateway{
+		ring:     NewRing(len(backends)),
+		obs:      opts.Obs,
+		backends: append([]http.Handler(nil), backends...),
+	}
+	g.reqs = make([][]*obs.Counter, len(backends))
+	for s := range g.reqs {
+		g.reqs[s] = make([]*obs.Counter, len(routeNames))
+		for rt, name := range routeNames {
+			g.reqs[s][rt] = g.obs.Counter("gateway_requests_total",
+				obs.L("shard", strconv.Itoa(s)), obs.L("route", name))
+		}
+	}
+	g.mux = g.buildMux()
+	return g
+}
+
+// Mount composes one amigo server's protocol and admin handlers into a
+// single backend the way cmd/roam-fleet self-hosting does: /v1/, /v2/,
+// /v3/ from the protocol handler, /admin/ from the admin handler.
+func Mount(protocol, admin http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", protocol)
+	mux.Handle("/v2/", protocol)
+	mux.Handle("/v3/", protocol)
+	mux.Handle("/admin/", admin)
+	return mux
+}
+
+// Ring exposes the gateway's placement ring (read-only), so harnesses
+// and benchmarks can schedule tasks directly against the owning shard.
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Backend returns shard i's current backend.
+func (g *Gateway) Backend(i int) http.Handler {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.backends[i]
+}
+
+// SetBackend atomically replaces shard i's backend. In-flight requests
+// finish against the handler they resolved; new requests see the
+// replacement. This is the shard-kill recovery hook: the harness swaps
+// in a fresh server wired to the dead shard's surviving WAL.
+func (g *Gateway) SetBackend(i int, h http.Handler) {
+	g.mu.Lock()
+	next := append([]http.Handler(nil), g.backends...)
+	next[i] = h
+	g.backends = next
+	g.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	// Data plane: peek the ME, forward whole to its shard.
+	mux.HandleFunc("POST /v1/register", g.routeJSON(0, jsonObjectME))
+	mux.HandleFunc("POST /v1/status", g.routeJSON(1, jsonObjectME))
+	mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		g.forward(w, r, r.URL.Query().Get("me"), 2)
+	})
+	mux.HandleFunc("POST /v1/results", g.routeJSON(3, jsonObjectME))
+	mux.HandleFunc("POST /v2/tasks/lease", g.routeJSON(4, jsonObjectME))
+	mux.HandleFunc("POST /v2/tasks/requeue", g.routeJSON(5, jsonObjectME))
+	mux.HandleFunc("POST /v2/results", g.routeJSON(6, jsonArrayME))
+	mux.HandleFunc("POST /v3/tasks/lease", g.routeV3(7))
+	mux.HandleFunc("POST /v3/results", g.routeV3(8))
+	mux.HandleFunc("POST /admin/schedule", g.routeJSON(9, jsonObjectME))
+	// Admin read surface: merged views.
+	mux.HandleFunc("GET /admin/results", g.handleMergedResults)
+	mux.HandleFunc("GET /admin/mes", g.handleMergedMEs)
+	// The gateway's own observability, covering gateway counters plus
+	// whatever the harness registered alongside (per-shard WAL metrics).
+	mux.Handle("GET /admin/metrics", g.obs.MetricsHandler())
+	mux.Handle("GET /admin/trace", g.obs.TraceHandler())
+	return mux
+}
+
+// forward dispatches the (body-rewound) request to me's shard.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, me string, route int) {
+	shard := g.ring.Shard(me)
+	g.reqs[shard][route].Inc()
+	g.Backend(shard).ServeHTTP(w, r)
+}
+
+// bufferBody reads the whole request body (bounded) and rewinds the
+// request so the backend sees it untouched.
+func bufferBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > maxBody {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	return body, true
+}
+
+// jsonObjectME peeks {"me": ...} out of a JSON object body.
+func jsonObjectME(body []byte) (string, error) {
+	var obj struct {
+		ME string `json:"me"`
+	}
+	if err := json.Unmarshal(body, &obj); err != nil {
+		return "", err
+	}
+	return obj.ME, nil
+}
+
+// jsonArrayME peeks the first element's "me" out of a JSON array body
+// (the v2 upload batch; one batch always belongs to a single ME). An
+// empty batch routes to shard 0 — it carries no data, any shard can
+// no-op it.
+func jsonArrayME(body []byte) (string, error) {
+	var arr []struct {
+		ME string `json:"me"`
+	}
+	if err := json.Unmarshal(body, &arr); err != nil {
+		return "", err
+	}
+	if len(arr) == 0 {
+		return "", nil
+	}
+	return arr[0].ME, nil
+}
+
+// routeJSON buffers the body, peeks the ME with the given peek
+// function, and forwards. A body the peek cannot parse is rejected here
+// with 400 — the shard would reject it identically, so nothing
+// observable changes versus a single server.
+func (g *Gateway) routeJSON(route int, peek func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := bufferBody(w, r)
+		if !ok {
+			return
+		}
+		me, err := peek(body)
+		if err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		g.forward(w, r, me, route)
+	}
+}
+
+// routeV3 peeks the ME out of a binary wire frame: the header names the
+// message type, and LeaseRequest.ME / the first upload record's ME
+// names the owning shard. Only the routing-relevant prefix is decoded
+// strictly here; the shard's handler decodes (and rejects) the full
+// frame as usual.
+func (g *Gateway) routeV3(route int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := bufferBody(w, r)
+		if !ok {
+			return
+		}
+		if len(body) < wire.HeaderLen {
+			http.Error(w, "short frame", http.StatusBadRequest)
+			return
+		}
+		h, err := wire.ParseHeader(body[:wire.HeaderLen])
+		if err != nil || len(body) != wire.HeaderLen+int(h.N) {
+			http.Error(w, "bad frame", http.StatusBadRequest)
+			return
+		}
+		payload := body[wire.HeaderLen:]
+		dec := wire.GetDecoder()
+		var me string
+		switch h.Type {
+		case wire.MsgLeaseRequest:
+			var req wire.LeaseRequest
+			req, err = dec.LeaseRequest(payload)
+			me = req.ME
+		case wire.MsgResults:
+			me, err = dec.FirstResultME(payload)
+		default:
+			err = fmt.Errorf("shard: unroutable frame type 0x%02x", h.Type)
+		}
+		wire.PutDecoder(dec)
+		if err != nil {
+			http.Error(w, "bad frame", http.StatusBadRequest)
+			return
+		}
+		g.forward(w, r, me, route)
+	}
+}
+
+// memResponse is a minimal in-memory http.ResponseWriter for the
+// synthetic sub-requests the merged admin routes issue against shard
+// backends.
+type memResponse struct {
+	code int
+	hdr  http.Header
+	body bytes.Buffer
+}
+
+func (m *memResponse) Header() http.Header {
+	if m.hdr == nil {
+		m.hdr = make(http.Header)
+	}
+	return m.hdr
+}
+
+func (m *memResponse) WriteHeader(code int) {
+	if m.code == 0 {
+		m.code = code
+	}
+}
+
+func (m *memResponse) Write(p []byte) (int, error) {
+	if m.code == 0 {
+		m.code = http.StatusOK
+	}
+	return m.body.Write(p)
+}
+
+// adminGet issues a synthetic GET against shard i's backend and decodes
+// the JSON response into out. Non-2xx statuses are returned as errors
+// carrying the status code.
+func (g *Gateway) adminGet(i int, path string, out any) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, path, nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp memResponse
+	g.Backend(i).ServeHTTP(&resp, req)
+	if resp.code == 0 {
+		resp.code = http.StatusOK
+	}
+	if resp.code != http.StatusOK {
+		return resp.code, fmt.Errorf("shard %d: %s: HTTP %d", i, path, resp.code)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.body.Bytes(), out); err != nil {
+			return resp.code, fmt.Errorf("shard %d: %s: %w", i, path, err)
+		}
+	}
+	return resp.code, nil
+}
+
+// resultsPage mirrors the amigo admin results response.
+type resultsPage struct {
+	Cursor  int               `json:"cursor"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// handleMergedResults serves GET /admin/results with the single-server
+// contract — {"cursor": next, "results": [...]} paged by cursor and
+// limit, cursor=-1 returning just the current cursor — over the
+// concatenation of all shards' logs in shard-index order.
+//
+// The global cursor maps onto per-shard cursors via a prefix-sum
+// snapshot of the shard log lengths. The mapping is stable only while
+// uploads are quiescent (positions in earlier shards shift later
+// shards' global offsets as they grow), which matches how the fleet
+// driver uses it: results are paged out after the campaign has drained,
+// exactly as with one server. If any shard's sink cannot be read back
+// (501), the merged route answers 501 — a partial merge would silently
+// drop a shard's worth of results.
+func (g *Gateway) handleMergedResults(w http.ResponseWriter, r *http.Request) {
+	n := g.ring.Shards()
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		var page resultsPage
+		code, err := g.adminGet(i, "/admin/results?cursor=-1", &page)
+		if err != nil {
+			if code == http.StatusNotImplemented {
+				http.Error(w, "results not readable: a shard's sink has no cursor support", http.StatusNotImplemented)
+			} else {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+			}
+			return
+		}
+		lens[i] = page.Cursor
+	}
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+
+	q := r.URL.Query()
+	cursor, _ := strconv.Atoi(q.Get("cursor"))
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	if cursor < 0 {
+		writeJSON(w, map[string]any{"cursor": total, "results": []json.RawMessage{}})
+		return
+	}
+	if limit <= 0 {
+		limit = total // "no limit": one page covers everything
+	}
+
+	merged := make([]json.RawMessage, 0, min(limit, 4096))
+	prefix := 0
+	for i := 0; i < n && len(merged) < limit; i++ {
+		segEnd := prefix + lens[i]
+		local := 0
+		if cursor > prefix {
+			local = cursor - prefix
+		}
+		// Page through this shard's log; shards may serve bounded pages
+		// (walsink does), so loop until the snapshot length is covered.
+		for local < lens[i] && len(merged) < limit {
+			want := lens[i] - local
+			if rem := limit - len(merged); rem < want {
+				want = rem
+			}
+			var page resultsPage
+			path := fmt.Sprintf("/admin/results?cursor=%d&limit=%d", local, want)
+			if _, err := g.adminGet(i, path, &page); err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			if len(page.Results) == 0 || page.Cursor <= local {
+				break // shard shrank?! — serve what we have rather than spin
+			}
+			merged = append(merged, page.Results...)
+			local = page.Cursor
+		}
+		prefix = segEnd
+	}
+	g.obs.Counter("gateway_admin_merges_total").Inc()
+	writeJSON(w, map[string]any{"cursor": cursor + len(merged), "results": merged})
+}
+
+// handleMergedMEs serves GET /admin/mes as the sorted union of every
+// shard's registered MEs.
+func (g *Gateway) handleMergedMEs(w http.ResponseWriter, r *http.Request) {
+	var all []string
+	for i := 0; i < g.ring.Shards(); i++ {
+		var mes []string
+		if _, err := g.adminGet(i, "/admin/mes", &mes); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		all = append(all, mes...)
+	}
+	sort.Strings(all)
+	writeJSON(w, all)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, "encoding response", http.StatusInternalServerError)
+	}
+}

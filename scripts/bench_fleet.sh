@@ -6,8 +6,11 @@
 #
 # Usage: bench_fleet.sh [OUT.json]
 #
-# The snapshot also records the v3/v2 speedup at 1000 MEs; the
-# acceptance floor for the zero-allocation binary codec is 3x.
+# The snapshot also records the v3/v2 speedup at 1000 MEs (the
+# acceptance floor for the zero-allocation binary codec is 3x) and the
+# sharded-gateway ratio at 1000 MEs — the v3-shards4 row is the same v3
+# drain through the 4-shard consistent-hash gateway, so the ratio prices
+# the routing peek + proxy hop.
 set -euo pipefail
 
 OUT="${1:-BENCH_fleet.json}"
@@ -38,6 +41,8 @@ BEGIN { print "{"; first = 1 }
 END {
     if (("v2/mes=1000" in rates) && ("v3/mes=1000" in rates) && rates["v2/mes=1000"] > 0)
         printf ",\n  \"v3_over_v2_at_1000\": %.2f", rates["v3/mes=1000"] / rates["v2/mes=1000"]
+    if (("v3/mes=1000" in rates) && ("v3-shards4/mes=1000" in rates) && rates["v3/mes=1000"] > 0)
+        printf ",\n  \"shards4_over_1_at_1000\": %.2f", rates["v3-shards4/mes=1000"] / rates["v3/mes=1000"]
     print "\n}"
 }
 ' "$RAW" > "$OUT"
