@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -83,7 +84,13 @@ func main() {
 	select {
 	case s := <-sig:
 		fmt.Printf("roam-gateway: %s, shutting down\n", s)
-		hs.Close()
+		// Drain in-flight requests so an upload already appended to the
+		// WAL still gets its 2xx; only force-close if draining stalls.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+		cancel()
 	case err := <-done:
 		if err != http.ErrServerClosed {
 			fatal(err)

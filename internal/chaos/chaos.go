@@ -288,19 +288,23 @@ func (inj *Injector) MaybeKillShard(shard, upload int) bool {
 	if inj.cfg.ShardKill <= 0 {
 		return false
 	}
+	// Reserve a budget slot before drawing: concurrent uploads must not
+	// both pass the check and overshoot MaxShardKills. A declined draw
+	// returns the reservation.
 	inj.mu.Lock()
-	budget := inj.shardKills < inj.cfg.maxShardKills()
-	inj.mu.Unlock()
-	if !budget {
+	if inj.shardKills >= inj.cfg.maxShardKills() {
+		inj.mu.Unlock()
 		return false
 	}
-	src := rng.Stream(inj.seed, fmt.Sprintf("chaos/shardkill/%d/%d", shard, upload))
-	if !src.Bool(inj.cfg.ShardKill) {
-		return false
-	}
-	inj.mu.Lock()
 	inj.shardKills++
 	inj.mu.Unlock()
+	src := rng.Stream(inj.seed, fmt.Sprintf("chaos/shardkill/%d/%d", shard, upload))
+	if !src.Bool(inj.cfg.ShardKill) {
+		inj.mu.Lock()
+		inj.shardKills--
+		inj.mu.Unlock()
+		return false
+	}
 	inj.record(Event{ME: fmt.Sprintf("shard-%d", shard), Op: "shard-kill", Attempt: upload, Fault: "shard-kill"})
 	return true
 }

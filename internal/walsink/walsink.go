@@ -410,10 +410,14 @@ func (s *Sink) Since(cursor int) ([]wire.Result, int) {
 	}
 	var out []wire.Result
 	next, err := s.Replay(cursor, func(r wire.Result) error {
-		out = append(out, r)
+		// Check the bound before consuming: Replay only counts results
+		// fn accepted, so next must cover exactly the appended records
+		// or a full page would hand back a cursor one short and the
+		// boundary result would be re-read as a duplicate.
 		if len(out) >= sincePage {
 			return errPageFull
 		}
+		out = append(out, r)
 		return nil
 	})
 	if err != nil && !errors.Is(err, errPageFull) {

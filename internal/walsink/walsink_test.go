@@ -288,6 +288,71 @@ func TestSincePaging(t *testing.T) {
 	}
 }
 
+// TestSincePageBoundary crosses the sincePage limit: a WAL holding more
+// than one full page must hand out pages that concatenate to exactly
+// the log, with no duplicated boundary record and no dropped tail.
+func TestSincePageBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const perBatch = 500
+	var want []wire.Result
+	for b := 0; len(want) < sincePage; b++ {
+		batch := mkResults(b, perBatch)
+		s.Append(batch)
+		want = append(want, batch...)
+	}
+	tail := mkResults(900, 3) // strictly past the page boundary
+	s.Append(tail)
+	want = append(want, tail...)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first page must be exactly full and its cursor must count
+	// every yielded result — cursor+sincePage, not one short.
+	first, next := s.Since(0)
+	if len(first) != sincePage {
+		t.Fatalf("first page = %d results, want %d", len(first), sincePage)
+	}
+	if next != sincePage {
+		t.Fatalf("first page next = %d, want %d", next, sincePage)
+	}
+
+	var got []wire.Result
+	cursor := 0
+	for {
+		rs, n := s.Since(cursor)
+		if len(rs) == 0 {
+			if n != cursor {
+				t.Fatalf("empty page moved cursor: %d -> %d", cursor, n)
+			}
+			break
+		}
+		if n != cursor+len(rs) {
+			t.Fatalf("page at %d: next = %d, want %d", cursor, n, cursor+len(rs))
+		}
+		got = append(got, rs...)
+		cursor = n
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged read yielded %d results, want %d", len(got), len(want))
+	}
+	seen := make(map[int]bool, len(got))
+	for i, r := range got {
+		if seen[r.TaskID] {
+			t.Fatalf("duplicate result at position %d: TaskID %d", i, r.TaskID)
+		}
+		seen[r.TaskID] = true
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged read diverged from log order")
+	}
+}
+
 // TestServerIntegration drops the WAL behind a live amigo.Server and
 // checks the cursor-paged admin read path and the 501-free contract.
 func TestServerIntegration(t *testing.T) {
