@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke fuzz-short
+.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke vclock-smoke fuzz-short
 
 ## verify: the CI entry point — vet, the roamvet determinism/hygiene
 ## analyzers, build, race-enabled tests, a one-iteration fleet
 ## throughput smoke (v1/v2/v3 protocol paths), the chaos differential
-## suite under the race detector, the observability endpoint smoke, and
-## the sharded control-plane / WAL durability smoke.
-verify: vet lint build race bench-fleet chaos-smoke metrics-smoke shard-smoke
+## suite under the race detector, the observability endpoint smoke, the
+## sharded control-plane / WAL durability smoke, and the virtual-time
+## engine smoke.
+verify: vet lint build race bench-fleet chaos-smoke metrics-smoke shard-smoke vclock-smoke
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +74,15 @@ shard-smoke:
 	$(GO) test -race -run 'TestSharded|TestShardCrash|TestShardKill' ./internal/fleet
 	$(GO) test -race ./internal/walsink ./internal/shard
 	bash scripts/shard_smoke.sh
+
+## vclock-smoke: the virtual-time engine — the vclock unit suite under
+## the race detector (scheduler, timers, contexts, deadlock/stall
+## guards), then one fleet crosscheck: the clock differential test
+## proving a virtual-time campaign ingests the byte-identical dataset a
+## wall-clock run does, across protocols, chaos, and realized pacing.
+vclock-smoke:
+	$(GO) test -race ./internal/vclock
+	$(GO) test -race -run 'TestVirtualTimeEquivalence' ./internal/fleet
 
 ## fuzz-short: a 10s budget per native fuzz target, on top of the
 ## checked-in seed corpora (which always run as part of plain `go test`).

@@ -13,9 +13,10 @@
 //
 //	roam-fleet [-server URL] [-mes N] [-countries GEO,DEU,...] [-seed N]
 //	           [-workers N] [-lease K] [-proto v2|v3] [-reps N]
-//	           [-configs sim,esim] [-crosscheck] [-chaos light|heavy]
-//	           [-chaos-seed N] [-straggler DUR] [-metrics]
-//	           [-shards N] [-wal-dir DIR] [-kill-shard N]
+//	           [-configs sim,esim] [-tools speedtest,mtr,...] [-crosscheck]
+//	           [-chaos light|heavy] [-chaos-seed N] [-straggler DUR]
+//	           [-metrics] [-shards N] [-wal-dir DIR] [-kill-shard N]
+//	           [-virtual-time] [-realize]
 //
 // -proto selects the lease/upload codec: v2 (JSON, the default) or v3
 // (length-prefixed binary frames, see internal/wire). The codec is an
@@ -52,6 +53,16 @@
 // a fresh server is brought up over the same WAL; MEs rediscover the
 // shard and re-register, and the ingested dataset must still be
 // byte-identical (pair with -crosscheck to prove it end to end).
+//
+// With -realize every ME spends each task's simulated network duration
+// (speedtest transfers, traceroute probe round trips, the 120 s video
+// watch window) on the campaign clock — the pacing an actual fleet
+// would have. With -virtual-time that clock is a discrete-event virtual
+// clock (see internal/vclock): the campaign jumps over every wait at
+// quiescence and finishes as fast as the CPU drains the event queue,
+// with a dataset byte-identical to the real-time run. The run prints a
+// machine-parseable `run-wall-seconds:` line (driver time only) that
+// scripts/bench_fleet.sh uses to compute the virtual-over-real speedup.
 package main
 
 import (
@@ -68,6 +79,7 @@ import (
 	"roamsim/internal/chaos"
 	"roamsim/internal/fleet"
 	"roamsim/internal/obs"
+	"roamsim/internal/vclock"
 )
 
 func main() {
@@ -80,6 +92,7 @@ func main() {
 	proto := flag.String("proto", "v2", "lease/upload protocol: v2 (JSON) or v3 (binary frames)")
 	reps := flag.Int("reps", 1, "repetitions per (tool, config)")
 	configs := flag.String("configs", "sim,esim", "comma-separated SIM configurations")
+	tools := flag.String("tools", "", "comma-separated task kinds to keep (speedtest,mtr,cdn,dns,video; empty = all)")
 	crosscheck := flag.Bool("crosscheck", false, "also run the plan serially in-process and compare outputs")
 	chaosMode := flag.String("chaos", "", "inject deterministic faults: \"light\" or \"heavy\" (empty = off)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault-schedule seed (0 = use -seed); same seed replays the same faults")
@@ -88,6 +101,8 @@ func main() {
 	shards := flag.Int("shards", 1, "self-hosted control-plane shard count (>1 = consistent-hash gateway over N servers)")
 	walDir := flag.String("wal-dir", "", "durable WAL directory for shard result sinks (empty = in-memory sinks)")
 	killShard := flag.Int("kill-shard", -1, "kill this shard once after its first accepted upload (-1 = off); requires -shards > 1")
+	virtualTime := flag.Bool("virtual-time", false, "run the campaign on a discrete-event virtual clock (identical dataset, no real waiting)")
+	realize := flag.Bool("realize", false, "spend each task's simulated network duration on the campaign clock")
 	flag.Parse()
 
 	plan := fleet.DeviceCampaignPlan()
@@ -95,6 +110,22 @@ func main() {
 	plan.MEsPerCountry = max(1, *mes/len(plan.Countries))
 	plan.Configs = splitList(*configs)
 	plan.Reps = *reps
+	if *tools != "" {
+		keep := map[string]bool{}
+		for _, k := range splitList(*tools) {
+			keep[k] = true
+		}
+		var tasks []amigo.Task
+		for _, task := range plan.Tasks {
+			if keep[task.Kind] {
+				tasks = append(tasks, task)
+			}
+		}
+		if len(tasks) == 0 {
+			fatal(fmt.Errorf("-tools %q matches none of the campaign tools", *tools))
+		}
+		plan.Tasks = tasks
+	}
 
 	w, err := airalo.Build(*seed)
 	if err != nil {
@@ -163,8 +194,14 @@ func main() {
 		Chaos:       inj,
 		Straggler:   *straggler,
 		Obs:         reg,
+		Realize:     *realize,
 	}
+	if *virtualTime {
+		d.Clock = vclock.NewVirtual()
+	}
+	wallStart := vclock.Wall.Now()
 	camp, err := d.Run(w, plan)
+	wallSeconds := vclock.Wall.Now().Sub(wallStart).Seconds()
 	if err != nil {
 		fatal(err)
 	}
@@ -177,6 +214,13 @@ func main() {
 	perSec := float64(st.Results) / st.Elapsed.Seconds()
 	fmt.Printf("fleet: %d MEs, %d tasks scheduled, %d results in %s (%.0f results/s), %d failures\n",
 		st.MEs, st.TasksScheduled, st.Results, st.Elapsed.Round(time.Millisecond), perSec, len(ds.Failures))
+	if *virtualTime {
+		fmt.Printf("virtual: campaign makespan %s of virtual time in %.3fs of wall time\n",
+			st.Elapsed.Round(time.Millisecond), wallSeconds)
+	}
+	// Driver time only — the line bench_fleet.sh parses for the
+	// virtual-over-real speedup; excludes server setup and ingest.
+	fmt.Printf("run-wall-seconds: %.3f\n", wallSeconds)
 	if inj != nil {
 		fmt.Printf("chaos: %s mode, seed %d: injected %d faults; dataset is byte-identical to the clean run\n",
 			*chaosMode, inj.Seed(), len(inj.Events()))

@@ -20,6 +20,7 @@ import (
 	"roamsim/internal/mno"
 	"roamsim/internal/obs"
 	"roamsim/internal/rng"
+	"roamsim/internal/vclock"
 	"roamsim/internal/video"
 )
 
@@ -121,6 +122,17 @@ type Endpoint struct {
 	// the default — "" means v2) or ProtoV3 (binary wire frames).
 	// Delivery semantics are identical either way; see endpoint_v3.go.
 	Proto string
+	// Clock is the time source for backoff sleeps, Retry-After waits,
+	// realized task durations, and execution metrics (nil = wall clock).
+	// On a vclock.Virtual the ME's goroutine must be a registered waiter.
+	Clock vclock.Clock
+	// Realize, when set, makes Execute sleep each task's simulated
+	// network duration on Clock — the netsim delay realization. A real
+	// ME spends the observed latencies and transfer times; with Realize
+	// a simulated campaign spends them too (and a virtual-clock campaign
+	// skips over them). Payloads are computed before the sleep, so the
+	// dataset is byte-identical with Realize on or off.
+	Realize bool
 
 	battery float64
 	acked   int // highest task ID leased so far (v2 ack cursor)
@@ -224,18 +236,17 @@ func (e *Endpoint) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// sleep waits d, or returns early with the context error if the
-// endpoint is cancelled (watchdog, shutdown).
+func (e *Endpoint) clock() vclock.Clock {
+	if e.Clock != nil {
+		return e.Clock
+	}
+	return vclock.Wall
+}
+
+// sleep waits d on the endpoint's clock, or returns early with the
+// context error if the endpoint is cancelled (watchdog, shutdown).
 func (e *Endpoint) sleep(d time.Duration) error {
-	if d <= 0 {
-		return nil
-	}
-	select {
-	case <-time.After(d):
-		return nil
-	case <-e.ctx().Done():
-		return e.ctx().Err()
-	}
+	return vclock.SleepCtx(e.clock(), e.ctx(), d)
 }
 
 // retry runs attempt under the endpoint's backoff policy. attempt
@@ -547,10 +558,66 @@ func (e *Endpoint) Execute(task Task) Result {
 	if !ok {
 		h = m.exec["other"]
 	}
-	start := time.Now()
+	start := e.clock().Now()
 	res := e.execute(task)
-	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if e.Realize {
+		// Spend the task's simulated network time on the clock, after
+		// the payload is sealed: pacing can never perturb the dataset.
+		e.sleep(realizeDuration(task.Kind, res))
+	}
+	h.Observe(float64(e.clock().Now().Sub(start)) / float64(time.Millisecond))
 	return res
+}
+
+// realizeDuration maps a finished result to the network time an actual
+// ME would have spent producing it, derived only from the uploaded
+// payload so the pacing is as deterministic as the dataset itself.
+func realizeDuration(kind string, res Result) time.Duration {
+	if !res.OK {
+		return 0
+	}
+	var ms float64
+	switch kind {
+	case "speedtest":
+		var p SpeedtestPayload
+		if json.Unmarshal(res.Payload, &p) != nil {
+			return 0
+		}
+		ms = 2 * p.LatencyMs // probe round trips
+		if p.DownMbps > 0 {
+			ms += 8 * 16 / p.DownMbps * 1e3 // 16 MB down at the observed rate
+		}
+		if p.UpMbps > 0 {
+			ms += 8 * 8 / p.UpMbps * 1e3 // 8 MB up
+		}
+	case "mtr":
+		var p MTRPayload
+		if json.Unmarshal(res.Payload, &p) != nil {
+			return 0
+		}
+		for _, h := range p.Hops {
+			if h.RTTms > 0 {
+				ms += 3 * h.RTTms // three probes per TTL
+			} else {
+				ms += 500 // timed-out hop: one probe-timeout window
+			}
+		}
+	case "cdn":
+		var p CDNPayload
+		if json.Unmarshal(res.Payload, &p) != nil {
+			return 0
+		}
+		ms = p.TotalMs
+	case "dns":
+		var p DNSPayload
+		if json.Unmarshal(res.Payload, &p) != nil {
+			return 0
+		}
+		ms = p.DurationMs
+	case "video":
+		ms = 120 * 1e3 // the fixed stats-for-nerds watch window
+	}
+	return time.Duration(ms * float64(time.Millisecond))
 }
 
 func (e *Endpoint) execute(task Task) Result {

@@ -1,0 +1,58 @@
+package amigo
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roamsim/internal/vclock"
+)
+
+// TestUploadRetryAfterClampedVirtual is the virtual-clock regression
+// for the Retry-After clamp. The real-time variant
+// (TestUploadRetryAfterClamped) can only bound the elapsed time from
+// above; on a virtual clock the backoff sleeps are exact events, so
+// this test asserts the precise amount of time a hostile
+// `Retry-After: 999999` is allowed to cost: (MaxAttempts-1) sleeps of
+// exactly Backoff.Max each — not 999999 seconds of it.
+func TestUploadRetryAfterClampedVirtual(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "999999") // ~11.6 days, per attempt
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	v := vclock.NewVirtual()
+	const maxAttempts = 3
+	const maxDelay = 2 * time.Second
+	ep := &Endpoint{Name: "me", BaseURL: hs.URL, Client: hs.Client(), Clock: v,
+		Retry: Backoff{MaxAttempts: maxAttempts, Base: time.Millisecond, Max: maxDelay}}
+
+	errs := make(chan error, 1)
+	v.Go(func() {
+		errs <- ep.Upload([]Result{{TaskID: 1, ME: "me", Kind: "dns", OK: true}})
+	})
+	err := <-errs
+	if err == nil {
+		t.Fatal("Upload succeeded against an always-429 server")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("error = %v, want attempt-budget failure", err)
+	}
+	if got := hits.Load(); got != maxAttempts {
+		t.Errorf("server saw %d attempts, want %d", got, maxAttempts)
+	}
+	// The exact-cost assertion: every retry slept the clamped Max, no
+	// more, no less — the virtual clock makes "clamped" checkable as an
+	// equality instead of a generous upper bound.
+	want := vclock.Instant(0).Add((maxAttempts - 1) * maxDelay)
+	if got := v.Now(); got != want {
+		t.Errorf("virtual elapsed = %v, want exactly %v (the clamped backoff schedule)",
+			got.Duration(), want.Duration())
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"roamsim/internal/rng"
+	"roamsim/internal/vclock"
 )
 
 // MEHeader carries the measurement endpoint's identity on chaos-wrapped
@@ -178,6 +179,7 @@ type Injector struct {
 	mwSeen     map[string]int // per-(ME, op) middleware attempt counters
 	faults     map[string]int // injected faults so far, per kind
 	shardKills int            // injected shard kills so far, fleet-wide
+	clk        vclock.Clock   // latency-spike time source (nil = wall)
 }
 
 // FaultKinds are the fault labels an Injector can record, in canonical
@@ -200,6 +202,25 @@ func NewInjector(seed int64, cfg Config) *Injector {
 
 // Seed returns the fault-schedule seed.
 func (inj *Injector) Seed() int64 { return inj.seed }
+
+// SetClock routes latency-spike stalls through c — the fleet driver
+// injects its clock here so a virtual-time campaign jumps over spikes
+// instead of really sleeping them. The spike durations and the fault
+// schedule are pure functions of the seed either way.
+func (inj *Injector) SetClock(c vclock.Clock) {
+	inj.mu.Lock()
+	inj.clk = c
+	inj.mu.Unlock()
+}
+
+func (inj *Injector) clock() vclock.Clock {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.clk != nil {
+		return inj.clk
+	}
+	return vclock.Wall
+}
 
 // Config returns the fault configuration.
 func (inj *Injector) Config() Config { return inj.cfg }
@@ -379,11 +400,11 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 	if spike && spikeFor > 0 {
 		ev("latency")
-		select {
-		//lint:allow wallclock a latency fault must really stall the transport; the spike duration and schedule are still pure functions of the chaos seed
-		case <-time.After(spikeFor):
-		case <-req.Context().Done():
-			return nil, req.Context().Err()
+		// The stall runs on the injected clock: a real-clock campaign
+		// truly pauses the transport; a virtual-clock campaign parks and
+		// lets quiescence jump the spike.
+		if err := vclock.SleepCtx(t.inj.clock(), req.Context(), spikeFor); err != nil {
+			return nil, err
 		}
 	}
 	if resetBefore {

@@ -19,6 +19,7 @@ import (
 	"roamsim/internal/chaos"
 	"roamsim/internal/obs"
 	"roamsim/internal/rng"
+	"roamsim/internal/vclock"
 )
 
 // Driver runs a fleet campaign against a live AmiGo control server.
@@ -33,7 +34,11 @@ type Driver struct {
 	Client *http.Client
 	// Seed roots the campaign's deterministic randomness.
 	Seed int64
-	// Workers bounds the ME worker pool (0 = GOMAXPROCS).
+	// Workers bounds the ME worker pool (0 = GOMAXPROCS). Ignored when
+	// Clock is a *vclock.Virtual: a virtual campaign spawns every ME as
+	// a registered clock waiter, because a worker pool would make the
+	// ME-to-worker assignment — and with it the quiescence schedule and
+	// final virtual timestamp — depend on scheduling instead of the seed.
 	Workers int
 	// LeaseBatch is the max tasks leased per v2 round trip (default 32).
 	LeaseBatch int
@@ -63,12 +68,24 @@ type Driver struct {
 	// straggler-watchdog kills — before the campaign errors out
 	// (default: the chaos config's crash cap + 3).
 	RestartBudget int
-	// Straggler, when positive, is the per-incarnation wall-clock
-	// watchdog: an ME stuck that long behind pathological faults is
-	// cancelled and restarted, consuming restart budget. A watchdog
+	// Straggler, when positive, is the per-incarnation watchdog on the
+	// campaign clock: an ME stuck that long behind pathological faults
+	// is cancelled and restarted, consuming restart budget. A watchdog
 	// kill changes the fault trace (an extra incarnation) but never
-	// the dataset; it is an escape hatch, off by default.
+	// the dataset; it is an escape hatch, off by default. On a virtual
+	// clock the deadline can only fire while the ME is parked in a
+	// clock wait, so kills are deterministic too.
 	Straggler time.Duration
+	// Clock is the campaign time source (nil = wall clock). Inject a
+	// *vclock.Virtual to run the campaign on discrete-event time: waits
+	// are jumped instead of slept, Stats.Elapsed becomes the campaign's
+	// virtual makespan, and the ingested dataset is byte-identical to a
+	// real-clock run (TestVirtualTimeEquivalence).
+	Clock vclock.Clock
+	// Realize makes every ME spend each task's simulated network
+	// duration on Clock (see amigo.Endpoint.Realize) — realistic pacing
+	// on a real clock, free on a virtual one. Datasets are unaffected.
+	Realize bool
 	// Obs, when set, records fleet-level metrics (incarnations, task
 	// throughput, watchdog kills, chaos fault counts) and trace events
 	// into the registry, and propagates it to every ME endpoint.
@@ -146,6 +163,13 @@ func (d *Driver) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (d *Driver) clock() vclock.Clock {
+	if d.Clock != nil {
+		return d.Clock
+	}
+	return vclock.Wall
+}
+
 func (d *Driver) leaseBatch() int {
 	if d.LeaseBatch > 0 {
 		return d.LeaseBatch
@@ -200,6 +224,10 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 	}
 	d.initObs()
 	client := d.client()
+	if d.Chaos != nil {
+		// Latency spikes stall on the campaign clock, not the wall.
+		d.Chaos.SetClock(d.clock())
+	}
 
 	// Pre-fork, then spawn: one child SEED per ME, captured serially in
 	// canonical schedule order (see internal/rng). Storing the seed
@@ -216,11 +244,32 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 		return nil, err
 	}
 
-	start := time.Now()
+	start := d.clock().Now()
 	errs := make([]error, len(scheds))
-	runPool(d.workers(), len(scheds), func(i int) {
-		errs[i] = d.runME(client, scheds[i], w.Deployments[scheds[i].ISO], seeds[i])
-	})
+	if v, ok := d.clock().(*vclock.Virtual); ok {
+		// Virtual time: every ME is a registered clock waiter, all
+		// spawned after the whole cohort is added (the rng pre-fork rule
+		// applied to the waiter registry). Quiescence is then a global
+		// barrier over the full fleet, so the advance sequence — and the
+		// final virtual timestamp — is a pure function of (seed, plan),
+		// independent of Workers and GOMAXPROCS.
+		var wg sync.WaitGroup
+		v.Add(len(scheds))
+		wg.Add(len(scheds))
+		for i := range scheds {
+			i := i
+			go func() {
+				defer wg.Done()
+				defer v.Done()
+				errs[i] = d.runME(client, scheds[i], w.Deployments[scheds[i].ISO], seeds[i])
+			}()
+		}
+		wg.Wait()
+	} else {
+		runPool(d.workers(), len(scheds), func(i int) {
+			errs[i] = d.runME(client, scheds[i], w.Deployments[scheds[i].ISO], seeds[i])
+		})
+	}
 	// Report every failed ME, not just the first: a campaign debugging
 	// session needs to see whether one straggler died or half the fleet
 	// did, and which MEs by name.
@@ -247,7 +296,7 @@ func (d *Driver) Run(w *airalo.World, plan Plan) (*Campaign, error) {
 			MEs:            len(scheds),
 			TasksScheduled: len(scheds) * plan.TasksPerME(),
 			Results:        len(results),
-			Elapsed:        time.Since(start),
+			Elapsed:        d.clock().Now().Sub(start),
 		},
 	}
 	return camp, nil
@@ -312,7 +361,7 @@ func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.
 	ctx := context.Background()
 	if d.Straggler > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d.Straggler)
+		ctx, cancel = vclock.ContextWithTimeout(ctx, d.clock(), d.Straggler)
 		defer cancel()
 	}
 
@@ -326,6 +375,8 @@ func (d *Driver) runIncarnation(client *http.Client, sc MESchedule, dep *airalo.
 	ep.Ctx = ctx
 	ep.Obs = d.Obs
 	ep.Proto = d.Proto
+	ep.Clock = d.clock()
+	ep.Realize = d.Realize
 	if d.Chaos != nil {
 		// Fault injection wraps this incarnation's transport; retry
 		// jitter draws from a stateless out-of-band stream so backoff
@@ -466,7 +517,7 @@ func RunInProcess(w *airalo.World, plan Plan, seed int64, label string, heartbea
 	defer hs.Close()
 
 	parent := rng.New(seed).Fork(label)
-	start := time.Now()
+	start := vclock.Wall.Now()
 	for _, sc := range scheds {
 		dep := w.Deployments[sc.ISO]
 		if dep == nil {
@@ -503,7 +554,7 @@ func RunInProcess(w *airalo.World, plan Plan, seed int64, label string, heartbea
 			MEs:            len(scheds),
 			TasksScheduled: len(scheds) * plan.TasksPerME(),
 			Results:        len(results),
-			Elapsed:        time.Since(start),
+			Elapsed:        vclock.Wall.Now().Sub(start),
 		},
 	}, nil
 }

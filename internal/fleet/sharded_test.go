@@ -11,13 +11,14 @@ import (
 	"roamsim/internal/chaos"
 	"roamsim/internal/obs"
 	"roamsim/internal/shard"
+	"roamsim/internal/vclock"
 )
 
 // runShardedCampaign runs the chaos test plan against a self-hosted
 // sharded control plane and returns the ingested artifacts plus the
 // harness and driver for post-run assertions. The WAL lives in a test
 // tempdir with a tiny segment size so rotation is exercised.
-func runShardedCampaign(t *testing.T, proto string, cfg ShardedConfig, inj *chaos.Injector, reg *obs.Registry, workers int) (dsBlob []byte, table4, rtt string, f *ShardedFleet) {
+func runShardedCampaign(t *testing.T, proto string, cfg ShardedConfig, inj *chaos.Injector, reg *obs.Registry, workers int, clk vclock.Clock) (dsBlob []byte, table4, rtt string, f *ShardedFleet) {
 	t.Helper()
 	w := testWorld(t)
 	plan := chaosTestPlan()
@@ -34,7 +35,7 @@ func runShardedCampaign(t *testing.T, proto string, cfg ShardedConfig, inj *chao
 	t.Cleanup(hs.Close)
 	d := &Driver{BaseURL: hs.URL, Seed: testSeed, Workers: workers,
 		LeaseBatch: 4, StreamLabel: "chaos-eq", Heartbeat: true,
-		Chaos: inj, Proto: proto, Obs: reg}
+		Chaos: inj, Proto: proto, Obs: reg, Clock: clk}
 	camp, err := d.Run(w, plan)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +70,7 @@ func TestShardedFleetEquivalence(t *testing.T) {
 					Shards: shards, WALDir: t.TempDir(),
 					SegmentBytes: 4096, // force rotation mid-campaign
 				}
-				gotDS, gotT4, gotRTT, f := runShardedCampaign(t, proto, cfg, nil, nil, 4)
+				gotDS, gotT4, gotRTT, f := runShardedCampaign(t, proto, cfg, nil, nil, 4, nil)
 				if !bytes.Equal(gotDS, wantDS) {
 					t.Error("sharded dataset differs from single-server baseline")
 				}
@@ -109,6 +110,19 @@ func TestShardedFleetEquivalence(t *testing.T) {
 // results), and (b) replaying the surviving WALs alone, as a cold
 // post-crash recovery would, rebuilds that same dataset.
 func TestShardCrashRecovery(t *testing.T) {
+	runShardCrashRecoveryCases(t, func() vclock.Clock { return nil })
+}
+
+// TestShardCrashRecoveryVirtual re-runs the full crash-recovery matrix
+// with the fleet driver on a virtual clock: WAL replay, shard-kill
+// recovery, and cold rebuild are control-plane durability mechanics —
+// they must be clock-agnostic, surviving a campaign whose waits were
+// jumped instead of slept.
+func TestShardCrashRecoveryVirtual(t *testing.T) {
+	runShardCrashRecoveryCases(t, func() vclock.Clock { return vclock.NewVirtual() })
+}
+
+func runShardCrashRecoveryCases(t *testing.T, mkClock func() vclock.Clock) {
 	wantDS, wantT4, _ := runProtoCampaign(t, amigo.ProtoV2, nil, 1)
 
 	cases := []struct {
@@ -151,7 +165,7 @@ func TestShardCrashRecovery(t *testing.T) {
 			walDir := t.TempDir()
 			cfg := ShardedConfig{Shards: 4, WALDir: walDir, SegmentBytes: 4096, Chaos: inj}
 			tc.mod(&cfg)
-			gotDS, gotT4, _, f := runShardedCampaign(t, amigo.ProtoV3, cfg, inj, reg, 4)
+			gotDS, gotT4, _, f := runShardedCampaign(t, amigo.ProtoV3, cfg, inj, reg, 4, mkClock())
 
 			if f.Kills() == 0 {
 				t.Fatal("no shard was killed; the test proved nothing")
@@ -212,7 +226,7 @@ func TestShardKillDeterminism(t *testing.T) {
 	for _, workers := range []int{1, 1, 4} {
 		inj := mkInj()
 		shardCfg := ShardedConfig{Shards: 4, WALDir: t.TempDir(), Chaos: inj}
-		blob, _, _, _ := runShardedCampaign(t, amigo.ProtoV2, shardCfg, inj, nil, workers)
+		blob, _, _, _ := runShardedCampaign(t, amigo.ProtoV2, shardCfg, inj, nil, workers, nil)
 		traces = append(traces, inj.TraceString())
 		blobs = append(blobs, blob)
 	}

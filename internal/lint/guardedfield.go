@@ -19,6 +19,16 @@ import (
 //	r.mu.Lock()          // evidence: r.mu.Lock() / r.mu.RLock()
 //	r.traces = append(...) // ok — same base "r"
 //
+// The guard may be a dotted path for delegated locks — a field guarded
+// by a mutex owned by another struct the field's struct points at:
+//
+//	type Ctx struct {
+//		v   *Virtual
+//		err error // guarded by v.mu
+//	}
+//
+//	c.v.mu.Lock()  // evidence for accesses to c.err
+//
 // The check is intra-function and intentionally coarse — it proves
 // hygiene, not full lock-order correctness (that is the race
 // detector's job). Accesses are exempt when:
@@ -39,7 +49,7 @@ var guardedfieldAnalyzer = &Analyzer{
 
 func init() { guardedfieldAnalyzer.Run = runGuardedfield }
 
-var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+var guardedRe = regexp.MustCompile(`guarded by (\w+(?:\.\w+)*)`)
 
 func runGuardedfield(p *Package) []Diagnostic {
 	guarded := collectGuardedFields(p)

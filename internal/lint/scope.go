@@ -10,12 +10,19 @@ import (
 // The wallclock and maporder contracts apply only where code produces
 // or transforms campaign datasets: the simulation core, the measurement
 // campaigns, the table/figure emitters, and the fleet ingest path that
-// canonicalizes uploads back into datasets. The control plane (amigo,
-// the fleet driver, cmd/ mains, examples) legitimately reads the wall
-// clock for timeouts, backoff, and elapsed-time reporting and is out of
-// scope; the obs and chaos layers are IN scope precisely so their few
-// real-time touch points carry visible, justified //lint:allow
-// directives instead of silently expanding.
+// canonicalizes uploads back into datasets — plus everything migrated
+// onto the injectable campaign clock (internal/vclock): the fleet
+// driver, the amigo endpoint, and chaos. Those layers used to be out of
+// scope because they legitimately slept and timed out on the wall
+// clock; now that every wait goes through vclock.Clock, a direct
+// time.Sleep / time.After there is a regression that would silently
+// stall virtual-time campaigns, so the lint rejects it. The remaining
+// control plane (the amigo server, cmd/ mains, examples) still reads
+// the wall clock for HTTP timeouts and reporting and stays out of
+// scope; obs is IN scope precisely so its few real-time touch points
+// carry visible, justified //lint:allow directives instead of silently
+// expanding — as does vclock itself, whose Real implementation is the
+// one sanctioned home of the wall clock.
 
 // detSubtrees are module-relative package prefixes (after "roamsim" /
 // "roamsim/") whose whole subtree is dataset-producing.
@@ -43,6 +50,7 @@ var detSubtrees = []string{
 	"internal/shard",       // placement must be a pure function of ME name
 	"internal/signaling",   // SS7/Diameter model
 	"internal/stats",       // summary statistics
+	"internal/vclock",      // the clock discipline itself; Real carries the allows
 	"internal/video",       // video campaign model
 	"internal/vmnocore",    // VMNO core model
 	"internal/voip",        // VoIP campaign model
@@ -52,10 +60,13 @@ var detSubtrees = []string{
 }
 
 // detFiles puts single files of otherwise out-of-scope packages in
-// scope: fleet's ingest path canonicalizes uploads into datasets while
-// the rest of the package drives real HTTP.
+// scope: fleet's ingest path canonicalizes uploads into datasets, and
+// the driver and endpoint now take every wait through the injectable
+// campaign clock — the rest of those packages (server, transports)
+// drives real HTTP and stays out.
 var detFiles = map[string][]string{
-	"internal/fleet": {"ingest.go"},
+	"internal/amigo": {"endpoint.go", "endpoint_v3.go"},
+	"internal/fleet": {"ingest.go", "driver.go"},
 }
 
 // deterministic reports whether the given file of package pkgPath is

@@ -66,3 +66,32 @@ func allowedAccess(c *counter) int {
 	//lint:allow guardedfield golden-test case: single-threaded setup phase
 	return c.n
 }
+
+// Delegated guards: the mutex lives on another struct the field's
+// struct points at, named by a dotted path.
+type owner struct {
+	mu sync.Mutex
+}
+
+type tenant struct {
+	o    *owner
+	seat int // guarded by o.mu
+}
+
+func (t *tenant) goodDelegated() int {
+	t.o.mu.Lock()
+	defer t.o.mu.Unlock()
+	return t.seat
+}
+
+func (t *tenant) badDelegated() int {
+	return t.seat // want `field t\.seat is guarded by "o\.mu" but badDelegated does not acquire t\.o\.mu`
+}
+
+// Locking the owner through a different expression than the access base
+// is not evidence — same rule as badWrongInstance.
+func badDelegatedOtherPath(t *tenant, o *owner) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return t.seat // want `field t\.seat is guarded by "o\.mu" but badDelegatedOtherPath does not acquire t\.o\.mu`
+}

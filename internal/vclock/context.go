@@ -1,0 +1,194 @@
+package vclock
+
+import (
+	"context"
+	"time"
+)
+
+// SleepCtx sleeps for d on c, returning early with ctx's error if ctx
+// is done first. It is the cancellable sleep every migrated wait in the
+// fleet uses: on a Virtual clock the caller parks as a registered
+// waiter; on any other clock it is a plain timer/ctx select.
+func SleepCtx(c Clock, ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if v, ok := c.(*Virtual); ok {
+		return v.sleepCtx(ctx, d)
+	}
+	t := c.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ContextWithTimeout is the clock-aware context.WithTimeout. On a
+// Virtual clock it returns a *Ctx whose deadline is a scheduler timer:
+// the expiry closes Done and wakes any parker sleeping under the
+// context synchronously, inside the same advance that fired it — so a
+// watchdog expiry lands at an exact, reproducible virtual instant
+// instead of racing a background goroutine. On any other clock it is
+// context.WithTimeout.
+func ContextWithTimeout(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if v, ok := c.(*Virtual); ok {
+		return v.newCtx(parent, d)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// Ctx is a context whose deadline lives on a Virtual clock's timeline.
+// Err reports context.DeadlineExceeded after the virtual deadline, so
+// callers distinguishing watchdog kills via errors.Is keep working
+// unchanged on virtual time.
+type Ctx struct {
+	v      *Virtual
+	parent context.Context
+	done   chan struct{}
+
+	err   error                // guarded by v.mu
+	timer *vtimer              // guarded by v.mu
+	subs  map[*parker]struct{} // guarded by v.mu
+
+	// stopParent is set once in newCtx before the context is returned
+	// and only read afterwards; it needs no lock.
+	stopParent func() bool
+}
+
+func (v *Virtual) newCtx(parent context.Context, d time.Duration) (*Ctx, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	c := &Ctx{v: v, parent: parent, done: make(chan struct{}), subs: map[*parker]struct{}{}}
+	v.mu.Lock()
+	c.timer = v.addTimerLocked(v.now.Add(d), func(Instant) {
+		c.cancelLocked(context.DeadlineExceeded)
+	})
+	v.mu.Unlock()
+	if parent.Done() != nil {
+		if err := parent.Err(); err != nil {
+			v.mu.Lock()
+			c.cancelLocked(err)
+			v.mu.Unlock()
+		} else {
+			c.stopParent = context.AfterFunc(parent, func() {
+				v.mu.Lock()
+				c.cancelLocked(c.parent.Err())
+				v.mu.Unlock()
+			})
+		}
+	}
+	cancel := func() {
+		v.mu.Lock()
+		c.cancelLocked(context.Canceled)
+		v.mu.Unlock()
+		if c.stopParent != nil {
+			c.stopParent()
+		}
+	}
+	return c, cancel
+}
+
+// cancelLocked settles the context exactly once: record err, drop the
+// deadline timer, close Done, and wake every parker subscribed to this
+// context — all under v.mu, so a sleeper woken by its watchdog observes
+// the error in the same event that fired it.
+func (c *Ctx) cancelLocked(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.v.stopTimerLocked(c.timer)
+	close(c.done)
+	for p := range c.subs {
+		c.v.wakeLocked(p)
+	}
+	c.subs = nil
+}
+
+// Deadline reports no wall-clock deadline: the real deadline is a
+// virtual instant, meaningless as a time.Time. Callers that honor
+// deadlines cooperatively still stop via Done.
+func (c *Ctx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done returns the channel closed when the virtual deadline fires, the
+// context is canceled, or the parent is done.
+func (c *Ctx) Done() <-chan struct{} { return c.done }
+
+// Err returns nil while the context is live, context.DeadlineExceeded
+// after the virtual deadline, context.Canceled after cancel, or the
+// parent's error if it settled first.
+func (c *Ctx) Err() error {
+	c.v.mu.Lock()
+	defer c.v.mu.Unlock()
+	return c.err
+}
+
+// errLocked reads the settled error; called with v.mu held.
+func (c *Ctx) errLocked() error { return c.err }
+
+// subscribeLocked registers p to be woken when the context settles;
+// called with v.mu held.
+func (c *Ctx) subscribeLocked(p *parker) { c.subs[p] = struct{}{} }
+
+// unsubscribeLocked drops p's wake subscription; called with v.mu held.
+func (c *Ctx) unsubscribeLocked(p *parker) {
+	if c.subs != nil {
+		delete(c.subs, p)
+	}
+}
+
+// Value defers to the parent context.
+func (c *Ctx) Value(key any) any { return c.parent.Value(key) }
+
+func (c *Ctx) String() string { return "vclock.Ctx" }
+
+// sleepCtx parks the calling registered waiter until d elapses or ctx
+// settles, whichever the event schedule reaches first.
+func (v *Virtual) sleepCtx(ctx context.Context, d time.Duration) error {
+	vc, own := ctx.(*Ctx)
+	own = own && vc.v == v
+
+	v.mu.Lock()
+	if own {
+		if err := vc.errLocked(); err != nil {
+			v.mu.Unlock()
+			return err
+		}
+	}
+	p := &parker{what: "sleep-ctx", ch: make(chan struct{}, 1)}
+	p.until = v.now.Add(d)
+	t := v.addTimerLocked(p.until, func(Instant) { v.wakeLocked(p) })
+	var stopWatch func() bool
+	if own {
+		vc.subscribeLocked(p)
+	} else {
+		// Foreign context: its cancellation is an outside, asynchronous
+		// event, so an AfterFunc wake is as deterministic as the input.
+		stopWatch = context.AfterFunc(ctx, func() {
+			v.mu.Lock()
+			v.wakeLocked(p)
+			v.mu.Unlock()
+		})
+	}
+	v.parkLocked(p)
+	v.mu.Unlock()
+
+	<-p.ch
+	if stopWatch != nil {
+		stopWatch()
+	}
+	v.mu.Lock()
+	v.stopTimerLocked(t)
+	if own {
+		vc.unsubscribeLocked(p)
+	}
+	v.mu.Unlock()
+	return ctx.Err()
+}
