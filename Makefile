@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke vclock-smoke fuzz-short
+.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke reshard-smoke vclock-smoke fuzz-short
 
 ## verify: the CI entry point — vet, the roamvet determinism/hygiene
 ## analyzers, build, race-enabled tests, a one-iteration fleet
 ## throughput smoke (v1/v2/v3 protocol paths), the chaos differential
 ## suite under the race detector, the observability endpoint smoke, the
-## sharded control-plane / WAL durability smoke, and the virtual-time
-## engine smoke.
-verify: vet lint build race bench-fleet chaos-smoke metrics-smoke shard-smoke vclock-smoke
+## sharded control-plane / WAL durability smoke, the live-reshard +
+## WAL-compaction smoke, and the virtual-time engine smoke.
+verify: vet lint build race bench-fleet chaos-smoke metrics-smoke shard-smoke reshard-smoke vclock-smoke
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +75,15 @@ shard-smoke:
 	$(GO) test -race ./internal/walsink ./internal/shard
 	bash scripts/shard_smoke.sh
 
+## reshard-smoke: WAL lifecycle end to end — compaction + torn-compaction
+## recovery and the reshard differential suites under the race detector,
+## then the real binaries: roam-fleet live-resharding 1→4 mid-campaign
+## with compaction and -crosscheck, and roam-gateway cold-restarting
+## over the resharded, partly compacted WAL set via the manifest.
+reshard-smoke:
+	$(GO) test -race -run 'TestReshard|TestCompaction|TestMovedMEs|TestRingBalance|TestGatewayPauseResume|TestMergedResults' ./internal/fleet ./internal/shard ./internal/walsink
+	bash scripts/reshard_smoke.sh
+
 ## vclock-smoke: the virtual-time engine — the vclock unit suite under
 ## the race detector (scheduler, timers, contexts, deadlock/stall
 ## guards), then one fleet crosscheck: the clock differential test
@@ -92,3 +101,4 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run=^$$ ./internal/wire
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s -run=^$$ ./internal/wire
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s -run=^$$ ./internal/walsink
+	$(GO) test -fuzz=FuzzCompactRecovery -fuzztime=10s -run=^$$ ./internal/walsink

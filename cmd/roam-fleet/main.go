@@ -16,6 +16,7 @@
 //	           [-configs sim,esim] [-tools speedtest,mtr,...] [-crosscheck]
 //	           [-chaos light|heavy] [-chaos-seed N] [-straggler DUR]
 //	           [-metrics] [-shards N] [-wal-dir DIR] [-kill-shard N]
+//	           [-compact-after N] [-reshard N] [-reshard-after U]
 //	           [-virtual-time] [-realize]
 //
 // -proto selects the lease/upload codec: v2 (JSON, the default) or v3
@@ -53,6 +54,17 @@
 // a fresh server is brought up over the same WAL; MEs rediscover the
 // shard and re-register, and the ingested dataset must still be
 // byte-identical (pair with -crosscheck to prove it end to end).
+//
+// -compact-after N compacts a shard's WAL whenever its sealed-segment
+// count reaches N: the replayed history is folded into one canonical
+// segment and the sources are retired, bounding on-disk growth without
+// losing a record. -reshard N live-reshards the running control plane
+// onto N shards after the fleet's -reshard-after-th accepted upload:
+// the gateway quiesces, every durable result is re-routed into a fresh
+// per-shard WAL set under the next epoch directory, and the campaign
+// carries on against the new ring — with a dataset still byte-identical
+// to the clean run (again, -crosscheck proves it end to end). Both
+// require -wal-dir.
 //
 // With -realize every ME spends each task's simulated network duration
 // (speedtest transfers, traceroute probe round trips, the 120 s video
@@ -101,6 +113,10 @@ func main() {
 	shards := flag.Int("shards", 1, "self-hosted control-plane shard count (>1 = consistent-hash gateway over N servers)")
 	walDir := flag.String("wal-dir", "", "durable WAL directory for shard result sinks (empty = in-memory sinks)")
 	killShard := flag.Int("kill-shard", -1, "kill this shard once after its first accepted upload (-1 = off); requires -shards > 1")
+	compactAfter := flag.Int("compact-after", 0, "compact a shard's WAL when its sealed-segment count reaches N (0 = never); requires -wal-dir")
+	walSegBytes := flag.Int("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = walsink default); small values force rotation so -compact-after has prey")
+	reshardTo := flag.Int("reshard", 0, "live-reshard the control plane onto N shards mid-campaign (0 = off); requires -wal-dir")
+	reshardAfter := flag.Int("reshard-after", 1, "fire -reshard after the fleet's Uth accepted upload")
 	virtualTime := flag.Bool("virtual-time", false, "run the campaign on a discrete-event virtual clock (identical dataset, no real waiting)")
 	realize := flag.Bool("realize", false, "spend each task's simulated network duration on the campaign clock")
 	flag.Parse()
@@ -158,18 +174,21 @@ func main() {
 		fleet.RegisterNetObs(reg, w.Net)
 	}
 
-	sharded := *shards > 1 || *walDir != "" || *killShard >= 0
+	sharded := *shards > 1 || *walDir != "" || *killShard >= 0 || *compactAfter > 0 || *reshardTo > 0
 	if sharded && *server != "" {
-		fatal(fmt.Errorf("-shards/-wal-dir/-kill-shard configure the self-hosted control plane; drop -server"))
+		fatal(fmt.Errorf("-shards/-wal-dir/-kill-shard/-compact-after/-reshard configure the self-hosted control plane; drop -server"))
 	}
 	if *killShard >= *shards {
 		fatal(fmt.Errorf("-kill-shard %d out of range for -shards %d", *killShard, *shards))
+	}
+	if (*compactAfter > 0 || *reshardTo > 0) && *walDir == "" {
+		fatal(fmt.Errorf("-compact-after/-reshard need a durable log; add -wal-dir"))
 	}
 
 	baseURL := *server
 	var sf *fleet.ShardedFleet
 	if baseURL == "" {
-		url, shutdown, f, err := selfHost(inj, reg, *shards, *walDir, *killShard)
+		url, shutdown, f, err := selfHost(inj, reg, *shards, *walDir, *killShard, *compactAfter, *reshardTo, *reshardAfter, *walSegBytes)
 		if err != nil {
 			fatal(err)
 		}
@@ -177,7 +196,7 @@ func main() {
 		baseURL = url
 		sf = f
 		if sf != nil {
-			fmt.Printf("self-hosted sharded control plane (%d shards) at %s\n", *shards, baseURL)
+			fmt.Printf("self-hosted sharded control plane (%d shards) at %s\n", sf.Shards(), baseURL)
 		} else {
 			fmt.Printf("self-hosted control server at %s\n", baseURL)
 		}
@@ -209,6 +228,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if sf != nil {
+		// The campaign's last upload may have fired a reshard that is
+		// still swapping; settle before reading topology or WAL state.
+		sf.WaitIdle()
+		if err := sf.ReshardErr(); err != nil {
+			fatal(err)
+		}
+		if err := sf.CompactErr(); err != nil {
+			fatal(err)
+		}
+	}
 
 	st := camp.Stats
 	perSec := float64(st.Results) / st.Elapsed.Seconds()
@@ -226,20 +256,33 @@ func main() {
 			*chaosMode, inj.Seed(), len(inj.Events()))
 	}
 	if sf != nil {
+		// Read the live topology, not the flags: a reshard may have
+		// changed the shard count mid-campaign.
+		nShards := sf.Shards()
 		records, segments, bytes := 0, 0, int64(0)
-		for i := 0; i < *shards; i++ {
+		retired := 0
+		for i := 0; i < nShards; i++ {
 			if wal := sf.WAL(i); wal != nil {
 				records += wal.Len()
 				n, b := wal.Segments()
 				segments += n
 				bytes += b
+				retired += wal.Retired()
 			}
 		}
-		fmt.Printf("shards: %d shards, %d killed and recovered", *shards, sf.Kills())
+		fmt.Printf("shards: %d shards (WAL epoch %d), %d killed and recovered", nShards, sf.Epoch(), sf.Kills())
 		if *walDir != "" {
 			fmt.Printf("; WAL: %d results in %d segments (%d bytes) under %s", records, segments, bytes, *walDir)
 		}
 		fmt.Println()
+		if n, rst := sf.Reshards(); n > 0 {
+			fmt.Printf("reshard: %d reshards completed; last replayed %d wal-records (%d re-homed) into %d shards\n",
+				n, rst.Records, rst.Moved, nShards)
+		}
+		if *compactAfter > 0 {
+			fmt.Printf("compact: %d source segments retired, %d shards killed mid-compaction and recovered\n",
+				retired, sf.CompactKills())
+		}
 	}
 	fmt.Println()
 	fmt.Println(fleet.Table4(ds, camp.Plan).String())
@@ -287,20 +330,27 @@ func main() {
 // traffic carries no chaos header and passes through untouched); a
 // non-nil registry instruments the plane and is served at
 // /admin/metrics.
-func selfHost(inj *chaos.Injector, reg *obs.Registry, shards int, walDir string, killShard int) (string, func(), *fleet.ShardedFleet, error) {
+func selfHost(inj *chaos.Injector, reg *obs.Registry, shards int, walDir string, killShard, compactAfter, reshardTo, reshardAfter, segBytes int) (string, func(), *fleet.ShardedFleet, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, nil, err
 	}
 	var handler http.Handler
 	var sf *fleet.ShardedFleet
-	if shards > 1 || walDir != "" || killShard >= 0 {
+	if shards > 1 || walDir != "" || killShard >= 0 || compactAfter > 0 || reshardTo > 0 {
+		var steps []fleet.ReshardStep
+		if reshardTo > 0 {
+			steps = []fleet.ReshardStep{{AfterUploads: reshardAfter, Shards: reshardTo}}
+		}
 		sf, err = fleet.NewShardedFleet(fleet.ShardedConfig{
 			Shards:         shards,
 			WALDir:         walDir,
+			SegmentBytes:   segBytes,
 			Chaos:          inj,
 			ForceKill:      killShard >= 0,
 			ForceKillShard: killShard,
+			CompactAfter:   compactAfter,
+			Reshards:       steps,
 			Obs:            reg,
 		})
 		if err != nil {

@@ -9,16 +9,23 @@
 //
 // Usage:
 //
-//	roam-gateway [-listen ADDR] [-shards N] [-wal-dir DIR] [-metrics]
+//	roam-gateway [-listen ADDR] [-shards N] [-wal-dir DIR]
+//	             [-compact-after N] [-metrics]
 //
 // Admin reads (/admin/results, /admin/mes) are merged across shards by
 // the gateway; /admin/schedule routes to the owning shard. With
 // -metrics the gateway serves its per-shard routing counters and every
-// WAL's durability metrics at /admin/metrics.
+// WAL's durability metrics at /admin/metrics. With -compact-after a
+// shard's WAL is compacted — its replayed history folded into one
+// canonical segment, the sources retired — whenever its sealed-segment
+// count reaches the threshold, bounding on-disk growth.
 //
 // On SIGINT/SIGTERM the gateway shuts down cleanly, syncing and closing
 // every shard WAL; restarting over the same -wal-dir replays the logs
-// and carries on with zero lost results.
+// and carries on with zero lost results. The restart follows
+// wal-manifest.json, so a deployment that live-resharded (see
+// internal/fleet ReshardStep) reopens its latest epoch's WAL set — the
+// manifest's shard count wins over -shards.
 package main
 
 import (
@@ -40,6 +47,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8431", "listen address")
 	shards := flag.Int("shards", 4, "control-plane shard count")
 	walDir := flag.String("wal-dir", "", "durable WAL directory; every shard logs results under <dir>/shard-<i> (empty = in-memory sinks)")
+	compactAfter := flag.Int("compact-after", 0, "compact a shard's WAL when its sealed-segment count reaches N (0 = never); requires -wal-dir")
 	metrics := flag.Bool("metrics", false, "instrument the gateway and WALs; exposition at /admin/metrics")
 	flag.Parse()
 
@@ -48,9 +56,10 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 	f, err := fleet.NewShardedFleet(fleet.ShardedConfig{
-		Shards: *shards,
-		WALDir: *walDir,
-		Obs:    reg,
+		Shards:       *shards,
+		WALDir:       *walDir,
+		CompactAfter: *compactAfter,
+		Obs:          reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,10 +76,12 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	fmt.Printf("roam-gateway: %d shards at http://%s", *shards, ln.Addr())
+	// The manifest may have overridden -shards (restart after a live
+	// reshard); report what is actually serving.
+	fmt.Printf("roam-gateway: %d shards (WAL epoch %d) at http://%s", f.Shards(), f.Epoch(), ln.Addr())
 	if *walDir != "" {
 		records := 0
-		for i := 0; i < *shards; i++ {
+		for i := 0; i < f.Shards(); i++ {
 			records += f.WAL(i).Len()
 		}
 		fmt.Printf(", WALs under %s (%d results replayed)", *walDir, records)

@@ -625,6 +625,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// atoiParam parses an optional integer query parameter: empty means 0,
+// anything else must be a well-formed integer.
+func atoiParam(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(raw)
+}
+
 // writeFrame writes an encoded v3 frame, counting short/failed writes
 // like writeJSON counts encode failures.
 func (s *Server) writeFrame(w http.ResponseWriter, frame []byte) {
@@ -905,8 +914,19 @@ func (s *Server) AdminHandler() http.Handler {
 			return
 		}
 		q := r.URL.Query()
-		cursor, _ := strconv.Atoi(q.Get("cursor"))
-		limit, _ := strconv.Atoi(q.Get("limit"))
+		// Missing parameters default to zero; malformed ones are 400s —
+		// silently reading garbage as cursor 0 would replay the whole
+		// log as a "successful" page.
+		cursor, err := atoiParam(q.Get("cursor"))
+		if err != nil {
+			http.Error(w, "bad cursor", http.StatusBadRequest)
+			return
+		}
+		limit, err := atoiParam(q.Get("limit"))
+		if err != nil {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
 		var rs []Result
 		var next int
 		if cursor < 0 {

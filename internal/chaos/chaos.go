@@ -107,6 +107,16 @@ type Config struct {
 	// MaxShardKills caps injected shard kills fleet-wide (default 1
 	// when ShardKill>0) so campaigns always terminate.
 	MaxShardKills int
+	// CompactKill is P(a shard's process dies mid-WAL-compaction),
+	// sampled at each crash point the compactor exposes (after the
+	// rewritten segment is staged, and after it is renamed in but
+	// before the sources are retired). A compact-killed shard loses its
+	// in-memory state like a shard kill; recovery additionally has to
+	// resolve the half-finished compaction artifacts on reopen.
+	CompactKill float64
+	// MaxCompactKills caps injected compaction kills fleet-wide
+	// (default 1 when CompactKill>0) so campaigns always terminate.
+	MaxCompactKills int
 }
 
 // Light is a mild preset: occasional resets, latency and storms, one
@@ -151,6 +161,16 @@ func (c Config) maxShardKills() int {
 	return 0
 }
 
+func (c Config) maxCompactKills() int {
+	if c.MaxCompactKills > 0 {
+		return c.MaxCompactKills
+	}
+	if c.CompactKill > 0 {
+		return 1
+	}
+	return 0
+}
+
 // Event is one injected fault. The trace of all events in canonical
 // order is the campaign's fault schedule.
 type Event struct {
@@ -178,15 +198,16 @@ type Injector struct {
 	crashes    map[string]int // injected crashes so far, per ME
 	mwSeen     map[string]int // per-(ME, op) middleware attempt counters
 	faults     map[string]int // injected faults so far, per kind
-	shardKills int            // injected shard kills so far, fleet-wide
-	clk        vclock.Clock   // latency-spike time source (nil = wall)
+	shardKills   int          // injected shard kills so far, fleet-wide
+	compactKills int          // injected compaction kills so far, fleet-wide
+	clk          vclock.Clock // latency-spike time source (nil = wall)
 }
 
 // FaultKinds are the fault labels an Injector can record, in canonical
 // order — the label set for per-kind fault metrics (see Counts).
 var FaultKinds = []string{
 	"latency", "reset-before", "reset-after", "duplicate", "truncate",
-	"crash", "shard-kill", "503", "429",
+	"crash", "shard-kill", "compact-kill", "503", "429",
 }
 
 // NewInjector returns an Injector for the given seed and fault config.
@@ -327,6 +348,35 @@ func (inj *Injector) MaybeKillShard(shard, upload int) bool {
 		return false
 	}
 	inj.record(Event{ME: fmt.Sprintf("shard-%d", shard), Op: "shard-kill", Attempt: upload, Fault: "shard-kill"})
+	return true
+}
+
+// MaybeKillCompaction decides whether control-plane shard `shard` dies
+// at its n-th compaction crash point (the fleet numbers the crash
+// points each compaction exposes with one fleet-wide per-shard
+// counter). Like MaybeKillShard it reserves a budget slot before
+// drawing from the stateless (shard, n) stream, so concurrent
+// compactions cannot overshoot MaxCompactKills, and a declined draw
+// returns the reservation.
+func (inj *Injector) MaybeKillCompaction(shard, n int) bool {
+	if inj.cfg.CompactKill <= 0 {
+		return false
+	}
+	inj.mu.Lock()
+	if inj.compactKills >= inj.cfg.maxCompactKills() {
+		inj.mu.Unlock()
+		return false
+	}
+	inj.compactKills++
+	inj.mu.Unlock()
+	src := rng.Stream(inj.seed, fmt.Sprintf("chaos/compactkill/%d/%d", shard, n))
+	if !src.Bool(inj.cfg.CompactKill) {
+		inj.mu.Lock()
+		inj.compactKills--
+		inj.mu.Unlock()
+		return false
+	}
+	inj.record(Event{ME: fmt.Sprintf("shard-%d", shard), Op: "compact-kill", Attempt: n, Fault: "compact-kill"})
 	return true
 }
 

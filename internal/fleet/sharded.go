@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
-	"strconv"
 	"sync"
 
 	"roamsim/internal/amigo"
@@ -36,6 +35,22 @@ type ShardedConfig struct {
 	// -kill-shard flag, independent of any chaos schedule.
 	ForceKill      bool
 	ForceKillShard int
+	// Reshards schedules live re-sharding mid-campaign (see
+	// ReshardStep); requires WALDir — resharding replays the durable
+	// log, so there is nothing to reshard from with in-memory sinks.
+	Reshards []ReshardStep
+	// CompactAfter, when > 0, compacts a shard's WAL whenever its
+	// sealed-segment count reaches CompactAfter, folding the replayed
+	// history into one canonical segment and retiring the sources.
+	// Requires WALDir.
+	CompactAfter int
+	// ForceCompactKill kills shard ForceCompactKillShard at its first
+	// compaction's post-rename crash point (compacted segment committed,
+	// covered sources not yet removed) — the deterministic one-shot
+	// analog of ForceKill for torn compactions, independent of any
+	// chaos schedule.
+	ForceCompactKill      bool
+	ForceCompactKillShard int
 	// Obs, when set, receives the gateway's routing counters and every
 	// shard WAL's metrics (labeled shard=<i>), and backs the gateway's
 	// /admin/metrics route.
@@ -62,31 +77,75 @@ type ShardedFleet struct {
 
 	mu      sync.Mutex
 	servers []*amigo.Server // current server per shard; guarded by mu
-	sinks   []amigo.Sink    // survives kills; guarded by mu (set once)
-	wals    []*walsink.Sink // nil entries when WALDir == ""; guarded by mu (set once)
-	uploads []int           // accepted uploads per shard; guarded by mu
+	sinks   []amigo.Sink    // survive kills, swapped by reshards; guarded by mu
+	wals    []*walsink.Sink // nil entries when WALDir == ""; guarded by mu
+	uploads []int           // accepted uploads per shard, this epoch; guarded by mu
 	kills   int             // shard kills performed; guarded by mu
 	forced  bool            // the ForceKill one-shot has fired; guarded by mu
+
+	epoch         int               // live WAL epoch, bumped per reshard; guarded by mu
+	total         int               // accepted uploads fleet-wide, across epochs; guarded by mu
+	nextReshard   int               // next cfg.Reshards step to fire; guarded by mu
+	resharding    bool              // a reshard is in flight; guarded by mu
+	reshards      int               // reshards completed; guarded by mu
+	lastReshard   shard.ReshardStats // stats of the latest reshard; guarded by mu
+	reshardErr    error             // first reshard failure; guarded by mu
+	compactPoints map[int]int       // compaction crash points seen per shard; guarded by mu
+	compactForced bool              // the ForceCompactKill one-shot has fired; guarded by mu
+	compactKills  int               // compact-kills performed; guarded by mu
+	compactErr    error             // first non-crash compaction failure; guarded by mu
+	wg            sync.WaitGroup    // in-flight reshard goroutine
 }
 
 // NewShardedFleet builds the shard servers, their sinks, and the
 // gateway.
 func NewShardedFleet(cfg ShardedConfig) (*ShardedFleet, error) {
 	n := cfg.shards()
+	epoch := 0
+	if cfg.WALDir == "" {
+		if len(cfg.Reshards) > 0 {
+			return nil, fmt.Errorf("fleet: Reshards requires WALDir — resharding replays the durable log")
+		}
+		if cfg.CompactAfter > 0 {
+			return nil, fmt.Errorf("fleet: CompactAfter requires WALDir")
+		}
+	} else {
+		// Manifest-aware restart: an existing deployment may have
+		// resharded, so the manifest — not the config — says which epoch
+		// and shard count are live. A fresh directory gets the epoch-0
+		// manifest written up front so cold recovery always has it.
+		m, ok, err := readWALManifest(cfg.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			epoch, n = m.Epoch, m.Shards
+		} else if err := writeWALManifest(cfg.WALDir, walManifest{Epoch: 0, Shards: n}); err != nil {
+			return nil, err
+		}
+	}
+	for _, step := range cfg.Reshards {
+		if step.Shards < 1 {
+			return nil, fmt.Errorf("fleet: reshard step to %d shards", step.Shards)
+		}
+	}
 	f := &ShardedFleet{
-		cfg:     cfg,
-		servers: make([]*amigo.Server, n),
-		sinks:   make([]amigo.Sink, n),
-		wals:    make([]*walsink.Sink, n),
-		uploads: make([]int, n),
+		cfg:           cfg,
+		servers:       make([]*amigo.Server, n),
+		sinks:         make([]amigo.Sink, n),
+		wals:          make([]*walsink.Sink, n),
+		uploads:       make([]int, n),
+		epoch:         epoch,
+		compactPoints: map[int]int{},
 	}
 	for i := 0; i < n; i++ {
 		if cfg.WALDir != "" {
-			wal, err := walsink.Open(ShardWALDir(cfg.WALDir, i), walsink.Options{
+			wal, err := walsink.Open(EpochWALDir(cfg.WALDir, epoch, i), walsink.Options{
 				SegmentBytes: cfg.SegmentBytes,
 				SyncBytes:    cfg.SyncBytes,
 				Obs:          cfg.Obs,
-				Labels:       []obs.Label{obs.L("shard", strconv.Itoa(i))},
+				Labels:       walLabels(i, epoch),
+				CompactCrash: f.compactCrashFn(i),
 			})
 			if err != nil {
 				f.Close()
@@ -150,6 +209,57 @@ func (f *ShardedFleet) Kills() int {
 	return f.kills
 }
 
+// Shards reports the current shard count — the original config's until
+// a reshard changes it.
+func (f *ShardedFleet) Shards() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.servers)
+}
+
+// Epoch reports the live WAL epoch (0 until the first reshard).
+func (f *ShardedFleet) Epoch() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Reshards reports how many reshards completed and the stats of the
+// latest one.
+func (f *ShardedFleet) Reshards() (int, shard.ReshardStats) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reshards, f.lastReshard
+}
+
+// ReshardErr returns the first reshard failure, if any. A failed
+// reshard leaves the deployment on its previous epoch, still serving.
+func (f *ShardedFleet) ReshardErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reshardErr
+}
+
+// CompactKills reports how many shards died at an injected compaction
+// crash point.
+func (f *ShardedFleet) CompactKills() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compactKills
+}
+
+// CompactErr returns the first non-crash compaction failure, if any.
+func (f *ShardedFleet) CompactErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compactErr
+}
+
+// WaitIdle blocks until no reshard is in flight. Campaign harnesses
+// call it before asserting on WAL or topology state: the last upload
+// of a run may have fired a reshard that is still swapping.
+func (f *ShardedFleet) WaitIdle() { f.wg.Wait() }
+
 // backend wraps a shard server's mounted handler with the upload
 // counter that drives the shard-kill fault: kills fire after a
 // successful upload response, which is the interesting moment — the ME
@@ -192,13 +302,19 @@ func (s *statusRecorder) Write(p []byte) (int, error) {
 	return s.ResponseWriter.Write(p)
 }
 
-// afterUpload counts shard i's accepted upload and decides whether the
-// shard dies now — by the deterministic ForceKill one-shot or by the
-// chaos injector's seeded schedule.
+// afterUpload counts shard i's accepted upload and runs the
+// upload-triggered lifecycle machinery in a fixed order: maybe the
+// shard dies (ForceKill one-shot or the chaos schedule), maybe its WAL
+// compacts (CompactAfter threshold — which may itself die at an
+// injected crash point and kill the shard), and maybe the next
+// scheduled reshard fires (on its own goroutine; see maybeReshard).
 func (f *ShardedFleet) afterUpload(i int) {
 	f.mu.Lock()
 	f.uploads[i]++
+	f.total++
 	n := f.uploads[i]
+	total := f.total
+	wal := f.wals[i]
 	force := f.cfg.ForceKill && f.cfg.ForceKillShard == i && !f.forced
 	if force {
 		f.forced = true
@@ -207,6 +323,8 @@ func (f *ShardedFleet) afterUpload(i int) {
 	if force || (f.cfg.Chaos != nil && f.cfg.Chaos.MaybeKillShard(i, n)) {
 		f.KillShard(i)
 	}
+	f.maybeCompact(i, wal)
+	f.maybeReshard(total)
 }
 
 // KillShard simulates shard i's process dying: its server — registry,
@@ -227,9 +345,10 @@ func (f *ShardedFleet) KillShard(i int) {
 	f.gw.SetBackend(i, f.backend(i, fresh))
 }
 
-// Close syncs and closes every WAL. The first error wins; in-memory
-// deployments never error.
+// Close waits out any in-flight reshard, then syncs and closes every
+// WAL. The first error wins; in-memory deployments never error.
 func (f *ShardedFleet) Close() error {
+	f.wg.Wait()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var first error
@@ -250,21 +369,10 @@ func (f *ShardedFleet) Close() error {
 // spirit (nothing is appended) and closed before returning.
 func ReplayWALs(dir string, shards int) ([]amigo.Result, error) {
 	var out []amigo.Result
+	var err error
 	for i := 0; i < shards; i++ {
-		wal, err := walsink.Open(ShardWALDir(dir, i), walsink.Options{})
-		if err != nil {
+		if out, err = replayDirInto(out, ShardWALDir(dir, i)); err != nil {
 			return nil, err
-		}
-		_, err = wal.Replay(0, func(r amigo.Result) error {
-			out = append(out, r)
-			return nil
-		})
-		closeErr := wal.Close()
-		if err != nil {
-			return nil, err
-		}
-		if closeErr != nil {
-			return nil, closeErr
 		}
 	}
 	return out, nil

@@ -60,13 +60,15 @@ var detSubtrees = []string{
 }
 
 // detFiles puts single files of otherwise out-of-scope packages in
-// scope: fleet's ingest path canonicalizes uploads into datasets, and
-// the driver and endpoint now take every wait through the injectable
-// campaign clock — the rest of those packages (server, transports)
-// drives real HTTP and stays out.
+// scope: fleet's ingest path canonicalizes uploads into datasets, the
+// driver and endpoint take every wait through the injectable campaign
+// clock, and the reshard/replay path re-homes WAL records whose bytes
+// and placement must be pure functions of the record stream — the rest
+// of those packages (server, transports) drives real HTTP and stays
+// out.
 var detFiles = map[string][]string{
 	"internal/amigo": {"endpoint.go", "endpoint_v3.go"},
-	"internal/fleet": {"ingest.go", "driver.go"},
+	"internal/fleet": {"ingest.go", "driver.go", "reshard.go"},
 }
 
 // deterministic reports whether the given file of package pkgPath is

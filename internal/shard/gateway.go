@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"roamsim/internal/obs"
 	"roamsim/internal/wire"
@@ -37,21 +38,58 @@ type Options struct {
 	Obs *obs.Registry
 }
 
+// topology is one immutable generation of the gateway's world: the
+// placement ring, the backend per shard, and the per-shard request
+// counters. Requests load it once and use it consistently; topology
+// changes swap the whole value.
+type topology struct {
+	ring     *Ring
+	backends []http.Handler
+	reqs     [][]*obs.Counter // [shard][route] request counters
+}
+
+func newTopology(backends []http.Handler, reg *obs.Registry) *topology {
+	t := &topology{
+		ring:     NewRing(len(backends)),
+		backends: append([]http.Handler(nil), backends...),
+	}
+	t.reqs = make([][]*obs.Counter, len(backends))
+	for s := range t.reqs {
+		t.reqs[s] = make([]*obs.Counter, len(routeNames))
+		for rt, name := range routeNames {
+			// Counter handles are shared per (name, labels), so a swap to
+			// the same shard count reuses the existing series.
+			t.reqs[s][rt] = reg.Counter("gateway_requests_total",
+				obs.L("shard", strconv.Itoa(s)), obs.L("route", name))
+		}
+	}
+	return t
+}
+
 // Gateway fronts N shard backends with the single-server HTTP surface:
 // MEs talk to one base URL and never learn the topology. Every data-
 // plane request is routed whole to the ME's owning shard (no fan-out on
 // the hot path); the admin read routes merge across shards in canonical
-// shard-index order. Backends are swappable at runtime (SetBackend),
-// which is how a killed shard's replacement server goes live.
+// shard-index order. The topology is swappable at runtime: SetBackend
+// replaces one shard's handler in place (the shard-kill recovery hook),
+// and Pause/Resume quiesce the whole data plane and install a new ring
+// — possibly with a different shard count — which is how a live reshard
+// goes atomic (see fleet.ShardedFleet.Reshard).
 type Gateway struct {
-	ring *Ring
-	obs  *obs.Registry
+	obs *obs.Registry
+	mux *http.ServeMux
 
-	mu       sync.RWMutex
-	backends []http.Handler // guarded by mu (swapped whole, never mutated)
+	mu   sync.Mutex // serializes topology swaps; readers load topo lock-free
+	topo atomic.Pointer[topology]
 
-	reqs [][]*obs.Counter // [shard][route] request counters
-	mux  *http.ServeMux
+	// gate quiesces the request plane across a topology change: every
+	// request holds it shared for its whole round trip; Pause takes it
+	// exclusive, so Pause returns only once in-flight requests have
+	// drained, and new requests block (not fail) until Resume. Blocking
+	// matters: MEs parked in a gated round trip count as busy to the
+	// virtual clock and burn no bounded-retry budget, so a swap is
+	// invisible to them except as latency.
+	gate sync.RWMutex
 }
 
 // NewGateway builds a gateway over the given backends — typically each
@@ -61,19 +99,8 @@ func NewGateway(backends []http.Handler, opts Options) *Gateway {
 	if len(backends) == 0 {
 		panic("shard: NewGateway needs at least one backend")
 	}
-	g := &Gateway{
-		ring:     NewRing(len(backends)),
-		obs:      opts.Obs,
-		backends: append([]http.Handler(nil), backends...),
-	}
-	g.reqs = make([][]*obs.Counter, len(backends))
-	for s := range g.reqs {
-		g.reqs[s] = make([]*obs.Counter, len(routeNames))
-		for rt, name := range routeNames {
-			g.reqs[s][rt] = g.obs.Counter("gateway_requests_total",
-				obs.L("shard", strconv.Itoa(s)), obs.L("route", name))
-		}
-	}
+	g := &Gateway{obs: opts.Obs}
+	g.topo.Store(newTopology(backends, opts.Obs))
 	g.mux = g.buildMux()
 	return g
 }
@@ -90,15 +117,21 @@ func Mount(protocol, admin http.Handler) http.Handler {
 	return mux
 }
 
-// Ring exposes the gateway's placement ring (read-only), so harnesses
-// and benchmarks can schedule tasks directly against the owning shard.
-func (g *Gateway) Ring() *Ring { return g.ring }
+// Ring exposes the gateway's current placement ring (read-only), so
+// harnesses and benchmarks can schedule tasks directly against the
+// owning shard. After a Resume with a different shard count this
+// returns the new ring.
+func (g *Gateway) Ring() *Ring { return g.topo.Load().ring }
 
 // Backend returns shard i's current backend.
 func (g *Gateway) Backend(i int) http.Handler {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.backends[i]
+	return g.topo.Load().backends[i]
+}
+
+// Backends returns a copy of the current backend list, in shard order.
+func (g *Gateway) Backends() []http.Handler {
+	t := g.topo.Load()
+	return append([]http.Handler(nil), t.backends...)
 }
 
 // SetBackend atomically replaces shard i's backend. In-flight requests
@@ -107,14 +140,41 @@ func (g *Gateway) Backend(i int) http.Handler {
 // in a fresh server wired to the dead shard's surviving WAL.
 func (g *Gateway) SetBackend(i int, h http.Handler) {
 	g.mu.Lock()
-	next := append([]http.Handler(nil), g.backends...)
+	defer g.mu.Unlock()
+	cur := g.topo.Load()
+	next := append([]http.Handler(nil), cur.backends...)
 	next[i] = h
-	g.backends = next
+	g.topo.Store(&topology{ring: cur.ring, backends: next, reqs: cur.reqs})
+}
+
+// Pause gates the control plane for a topology swap: it blocks new
+// requests at the door and returns only once every in-flight request
+// has drained. Between Pause and Resume the world is quiescent — every
+// result a shard ever acknowledged is in its sink, and nothing new can
+// arrive — which is the window a reshard copies WALs in. Requests
+// arriving while paused simply wait; callers must pair every Pause
+// with exactly one Resume, and must not call Pause from a goroutine
+// that is itself serving a gateway request (that request can never
+// drain).
+func (g *Gateway) Pause() { g.gate.Lock() }
+
+// Resume installs backends as the new topology — rebuilding the ring,
+// so the shard count may differ from the previous generation — and
+// reopens the gate. Blocked requests then route by the new ring.
+func (g *Gateway) Resume(backends []http.Handler) {
+	if len(backends) == 0 {
+		panic("shard: Resume needs at least one backend")
+	}
+	g.mu.Lock()
+	g.topo.Store(newTopology(backends, g.obs))
 	g.mu.Unlock()
+	g.gate.Unlock()
 }
 
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.gate.RLock()
+	defer g.gate.RUnlock()
 	g.mux.ServeHTTP(w, r)
 }
 
@@ -143,11 +203,14 @@ func (g *Gateway) buildMux() *http.ServeMux {
 	return mux
 }
 
-// forward dispatches the (body-rewound) request to me's shard.
+// forward dispatches the (body-rewound) request to me's shard. One
+// topology load covers both the placement and the backend, so a
+// concurrent swap can never route by one ring and serve from another.
 func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, me string, route int) {
-	shard := g.ring.Shard(me)
-	g.reqs[shard][route].Inc()
-	g.Backend(shard).ServeHTTP(w, r)
+	t := g.topo.Load()
+	shard := t.ring.Shard(me)
+	t.reqs[shard][route].Inc()
+	t.backends[shard].ServeHTTP(w, r)
 }
 
 // bufferBody reads the whole request body (bounded) and rewinds the
@@ -285,16 +348,16 @@ func (m *memResponse) Write(p []byte) (int, error) {
 	return m.body.Write(p)
 }
 
-// adminGet issues a synthetic GET against shard i's backend and decodes
-// the JSON response into out. Non-2xx statuses are returned as errors
-// carrying the status code.
-func (g *Gateway) adminGet(i int, path string, out any) (int, error) {
+// adminGet issues a synthetic GET against shard i's backend in the
+// given topology snapshot and decodes the JSON response into out.
+// Non-2xx statuses are returned as errors carrying the status code.
+func adminGet(t *topology, i int, path string, out any) (int, error) {
 	req, err := http.NewRequest(http.MethodGet, path, nil)
 	if err != nil {
 		return 0, err
 	}
 	var resp memResponse
-	g.Backend(i).ServeHTTP(&resp, req)
+	t.backends[i].ServeHTTP(&resp, req)
 	if resp.code == 0 {
 		resp.code = http.StatusOK
 	}
@@ -321,19 +384,35 @@ type resultsPage struct {
 // concatenation of all shards' logs in shard-index order.
 //
 // The global cursor maps onto per-shard cursors via a prefix-sum
-// snapshot of the shard log lengths. The mapping is stable only while
-// uploads are quiescent (positions in earlier shards shift later
-// shards' global offsets as they grow), which matches how the fleet
-// driver uses it: results are paged out after the campaign has drained,
-// exactly as with one server. If any shard's sink cannot be read back
-// (501), the merged route answers 501 — a partial merge would silently
-// drop a shard's worth of results.
+// snapshot of the shard log lengths, probed once up front. Within one
+// request the merge is a consistent view of that snapshot: every
+// per-shard read is clamped to min(want, probedTotal-local), so a shard
+// appending between the probe and the reads can neither shift the
+// prefix sums (duplicating records) nor leak post-snapshot results into
+// the page. Across separate paged requests the mapping is stable only
+// while uploads are quiescent (growth in earlier shards shifts later
+// shards' global offsets), which matches how the fleet driver uses it:
+// results are paged out after the campaign has drained, exactly as with
+// one server. If any shard's sink cannot be read back (501), the merged
+// route answers 501 — a partial merge would silently drop a shard's
+// worth of results.
 func (g *Gateway) handleMergedResults(w http.ResponseWriter, r *http.Request) {
-	n := g.ring.Shards()
+	q := r.URL.Query()
+	cursor, ok := intParam(w, q.Get("cursor"), "cursor")
+	if !ok {
+		return
+	}
+	limit, ok := intParam(w, q.Get("limit"), "limit")
+	if !ok {
+		return
+	}
+
+	t := g.topo.Load()
+	n := t.ring.Shards()
 	lens := make([]int, n)
 	for i := 0; i < n; i++ {
 		var page resultsPage
-		code, err := g.adminGet(i, "/admin/results?cursor=-1", &page)
+		code, err := adminGet(t, i, "/admin/results?cursor=-1", &page)
 		if err != nil {
 			if code == http.StatusNotImplemented {
 				http.Error(w, "results not readable: a shard's sink has no cursor support", http.StatusNotImplemented)
@@ -349,9 +428,6 @@ func (g *Gateway) handleMergedResults(w http.ResponseWriter, r *http.Request) {
 		total += l
 	}
 
-	q := r.URL.Query()
-	cursor, _ := strconv.Atoi(q.Get("cursor"))
-	limit, _ := strconv.Atoi(q.Get("limit"))
 	if cursor < 0 {
 		writeJSON(w, map[string]any{"cursor": total, "results": []json.RawMessage{}})
 		return
@@ -377,15 +453,22 @@ func (g *Gateway) handleMergedResults(w http.ResponseWriter, r *http.Request) {
 			}
 			var page resultsPage
 			path := fmt.Sprintf("/admin/results?cursor=%d&limit=%d", local, want)
-			if _, err := g.adminGet(i, path, &page); err != nil {
+			if _, err := adminGet(t, i, path, &page); err != nil {
 				http.Error(w, err.Error(), http.StatusBadGateway)
 				return
 			}
-			if len(page.Results) == 0 || page.Cursor <= local {
+			if len(page.Results) > want {
+				// The shard appended past the probe and served more than
+				// asked; keep the merge inside the snapshot.
+				page.Results = page.Results[:want]
+			}
+			if len(page.Results) == 0 {
 				break // shard shrank?! — serve what we have rather than spin
 			}
+			// Advance by what was actually merged, not the shard's own
+			// cursor: a post-snapshot append must not skip ahead.
 			merged = append(merged, page.Results...)
-			local = page.Cursor
+			local += len(page.Results)
 		}
 		prefix = segEnd
 	}
@@ -393,13 +476,30 @@ func (g *Gateway) handleMergedResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"cursor": cursor + len(merged), "results": merged})
 }
 
+// intParam parses an optional integer query parameter. A missing value
+// is 0; a malformed one answers 400 and returns ok=false — silently
+// treating garbage as 0 would replay the whole log as a "successful"
+// read.
+func intParam(w http.ResponseWriter, raw, name string) (int, bool) {
+	if raw == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		http.Error(w, "bad "+name, http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
 // handleMergedMEs serves GET /admin/mes as the sorted union of every
 // shard's registered MEs.
 func (g *Gateway) handleMergedMEs(w http.ResponseWriter, r *http.Request) {
+	t := g.topo.Load()
 	var all []string
-	for i := 0; i < g.ring.Shards(); i++ {
+	for i := 0; i < t.ring.Shards(); i++ {
 		var mes []string
-		if _, err := g.adminGet(i, "/admin/mes", &mes); err != nil {
+		if _, err := adminGet(t, i, "/admin/mes", &mes); err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}

@@ -7,8 +7,8 @@
 // across shards.
 //
 // Placement is a pure function of (ME name, shard count): the vnode
-// layout is fixed, the hash is FNV-1a, and no runtime state feeds the
-// ring, so a fleet campaign routed through N shards executes the exact
+// layout is fixed, the hash is FNV-1a finished with a splitmix64
+// avalanche (see ringHash), and no runtime state feeds the ring, so a fleet campaign routed through N shards executes the exact
 // same per-ME schedule as against one server — which is what makes the
 // sharded dataset byte-identical to the single-server one
 // (TestShardedFleetEquivalence) and lets a restarted gateway re-derive
@@ -46,7 +46,7 @@ func NewRing(n int) *Ring {
 	r := &Ring{points: make([]point, 0, n*vnodesPerShard), shards: n}
 	for s := 0; s < n; s++ {
 		for v := 0; v < vnodesPerShard; v++ {
-			r.points = append(r.points, point{hash: fnv64a(vnodeName(s, v)), shard: s})
+			r.points = append(r.points, point{hash: ringHash(vnodeName(s, v)), shard: s})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
@@ -82,12 +82,35 @@ func (r *Ring) Shards() int { return r.shards }
 // Shard returns the shard owning the given ME name: the shard of the
 // first ring point at or after fnv64a(me), wrapping to the first point.
 func (r *Ring) Shard(me string) int {
-	h := fnv64a(me)
+	h := ringHash(me)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
 	return r.points[i].shard
+}
+
+// ringHash positions a name on the ring: FNV-1a finished with a
+// splitmix64-style avalanche. Raw FNV-1a mixes trailing-byte changes
+// poorly across the high bits that order the ring — names differing
+// only in a short numeric suffix ("me-000".."me-199", and the vnode
+// names themselves) land within a sliver of the keyspace, collapsing
+// whole fleets onto one shard and hollowing out the vnode spread the
+// 128-per-shard layout is supposed to guarantee. The finalizer
+// avalanches every input bit across the word, restoring uniform vnode
+// arcs and the consistent-hash movement bound resharding relies on.
+func ringHash(s string) uint64 {
+	return mix64(fnv64a(s))
+}
+
+// mix64 is the splitmix64 finalizer (Stafford variant 13).
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // fnv64a is FNV-1a, inlined so ring lookups never allocate a hasher.

@@ -1,0 +1,394 @@
+package walsink
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"roamsim/internal/obs"
+	"roamsim/internal/wire"
+)
+
+// fillSegments appends batches until the WAL holds at least minSegs
+// segments, returning everything appended.
+func fillSegments(t *testing.T, s *Sink, minSegs int) []wire.Result {
+	t.Helper()
+	var want []wire.Result
+	for b := 0; ; b++ {
+		if n, _ := s.Segments(); n >= minSegs {
+			return want
+		}
+		batch := mkResults(b, 4)
+		s.Append(batch)
+		want = append(want, batch...)
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompactMergesHead(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Open(dir, Options{SegmentBytes: 512, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillSegments(t, s, 5)
+	before, beforeBytes := s.Segments()
+
+	st, err := s.Compact(s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != before-1 {
+		t.Fatalf("Sources = %d, want %d (all sealed segments)", st.Sources, before-1)
+	}
+	if st.Records == 0 || st.InBytes == 0 || st.OutBytes == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	if after, _ := s.Segments(); after != 2 {
+		t.Fatalf("segments after compact = %d, want 2 (compacted head + active)", after)
+	}
+	if got := s.Retired(); got != st.Sources {
+		t.Fatalf("Retired = %d, want %d", got, st.Sources)
+	}
+	if got := s.Len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d — compaction must not drop records", got, len(want))
+	}
+	if got := collect(t, s, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after compact diverged")
+	}
+	// Cursor replay into the middle still works across the seam.
+	mid := len(want) / 2
+	if got := collect(t, s, mid); !reflect.DeepEqual(got, want[mid:]) {
+		t.Fatalf("replay from %d after compact diverged", mid)
+	}
+
+	// Appends continue, and a reopen sees one compacted + live tail.
+	extra := mkResults(99, 4)
+	s.Append(extra)
+	want = append(want, extra...)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := collect(t, s2, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after reopen diverged")
+	}
+	if n, b := s2.Segments(); n > before || b > beforeBytes+int64(len(extra)*256) {
+		t.Fatalf("compaction did not bound the log: %d segments, %d bytes", n, b)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "walsink_compactions_total 1") {
+		t.Fatalf("missing compaction metric:\n%s", buf.String())
+	}
+}
+
+func TestCompactKeepCursorBounds(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := fillSegments(t, s, 6)
+
+	// A keepCursor inside segment 2 must leave segments 2+ untouched.
+	s.mu.Lock()
+	segs := append([]segment(nil), s.segs...)
+	s.mu.Unlock()
+	keep := segs[2].first + 1
+	st, err := s.Compact(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != 2 {
+		t.Fatalf("Sources = %d, want 2 (only segments wholly below keepCursor)", st.Sources)
+	}
+	if got := collect(t, s, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after bounded compact diverged")
+	}
+
+	// keepCursor 0: nothing eligible.
+	if st, err := s.Compact(0); err != nil || st.Sources != 0 {
+		t.Fatalf("Compact(0) = %+v, %v; want no-op", st, err)
+	}
+
+	// Second full compaction folds the compacted head plus the newly
+	// sealed segments into a fresh compacted segment.
+	st, err = s.Compact(s.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources < 2 {
+		t.Fatalf("recompaction Sources = %d, want >= 2 (compacted head + sealed tail)", st.Sources)
+	}
+	if got := collect(t, s, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after recompaction diverged")
+	}
+
+	// And compacting a lone compacted head again is a no-op.
+	if st, err := s.Compact(s.Len()); err != nil {
+		t.Fatal(err)
+	} else if n, _ := s.Segments(); n == 2 && st.Sources != 0 {
+		t.Fatalf("re-wrapping a lone compacted head should be a no-op, got %+v", st)
+	}
+}
+
+// TestCompactionCrashRecovery is the satellite torn-compaction test:
+// the process dies at each crash stage of the protocol — after writing
+// wal-compact.tmp, and in the torn window between renaming the
+// compacted segment into place and retiring the sources — and a reopen
+// must yield the exact original sequence with zero duplicates.
+func TestCompactionCrashRecovery(t *testing.T) {
+	for _, stage := range CompactStages {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			crash := stage
+			s, err := Open(dir, Options{
+				SegmentBytes: 512,
+				CompactCrash: func(at string) bool { return at == crash },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fillSegments(t, s, 5)
+
+			if _, err := s.Compact(s.Len()); !errors.Is(err, ErrCompactCrashed) {
+				t.Fatalf("Compact = %v, want ErrCompactCrashed", err)
+			}
+			// The live sink is untouched by the aborted compaction: it
+			// still appends and replays off its pre-compaction segments.
+			extra := mkResults(77, 4)
+			s.Append(extra)
+			if err := s.Err(); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, extra...)
+			if got := collect(t, s, 0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("live replay after aborted compact diverged")
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The "process" died: reopen over the torn on-disk state.
+			s2, err := Open(dir, Options{SegmentBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			got := collect(t, s2, 0)
+			if len(got) != len(want) {
+				t.Fatalf("recovered %d results, want %d (no loss, no duplicates)", len(got), len(want))
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered sequence diverged from original")
+			}
+			if _, err := os.Stat(filepath.Join(dir, compactTmpName)); !os.IsNotExist(err) {
+				t.Fatalf("stray %s survived recovery", compactTmpName)
+			}
+			// Recovery resolved the torn state: no source segment may
+			// coexist with a compacted segment covering its number.
+			assertNoOverlaps(t, dir)
+
+			// Recovery is idempotent and the resolved log compacts fine.
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3, err := Open(dir, Options{SegmentBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s3.Close()
+			if _, err := s3.Compact(s3.Len()); err != nil {
+				t.Fatal(err)
+			}
+			if got := collect(t, s3, 0); !reflect.DeepEqual(got, want) {
+				t.Fatalf("replay after recovery + compact diverged")
+			}
+		})
+	}
+}
+
+func assertNoOverlaps(t *testing.T, dir string) {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevB := -1
+	for _, name := range names {
+		a, b, _, ok := segRange(name)
+		if !ok {
+			t.Fatalf("unparseable segment %s", name)
+		}
+		if a <= prevB {
+			t.Fatalf("overlapping segments on disk: %v", names)
+		}
+		prevB = b
+	}
+}
+
+// TestCompactTornArtifactPrefersSources: a torn compacted segment whose
+// sources are all intact is a failed-compaction artifact — recovery
+// must drop it and keep the sources.
+func TestCompactTornArtifactPrefersSources(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillSegments(t, s, 4)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake a crash that left a garbage compacted segment next to the
+	// intact sources 1..3.
+	bad := filepath.Join(dir, compactedName(1, 3))
+	if err := os.WriteFile(bad, []byte("not a wal segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := collect(t, s2, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after artifact recovery diverged")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact %s survived recovery", bad)
+	}
+}
+
+// TestCompactCorruptWithoutSourcesRefused: once the sources are gone, a
+// damaged compacted segment is unrecoverable data loss and Open must
+// refuse it rather than silently replay a truncated log.
+func TestCompactCorruptWithoutSourcesRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, s, 4)
+	if _, err := s.Compact(s.Len()); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	comp := s.segs[0].name
+	s.mu.Unlock()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the middle of the compacted segment.
+	path := filepath.Join(dir, comp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a damaged compacted segment with no sources left")
+	}
+}
+
+// TestCompactConcurrentReplay races appends and replays against a
+// compaction; run under -race this is the reader-fence regression test.
+func TestCompactConcurrentReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fillSegments(t, s, 5)
+	base := s.Len()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for b := 100; ; b++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Append(mkResults(b, 2))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := 0
+			if _, err := s.Replay(0, func(wire.Result) error { n++; return nil }); err != nil {
+				t.Errorf("concurrent replay: %v", err)
+				return
+			}
+			if n < base {
+				t.Errorf("concurrent replay saw %d results, want >= %d", n, base)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Compact(s.Len()); err != nil {
+			t.Errorf("compact %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegRange(t *testing.T) {
+	cases := []struct {
+		name      string
+		a, b      int
+		compacted bool
+		ok        bool
+	}{
+		{segName(7), 7, 7, false, true},
+		{compactedName(1, 4), 1, 4, true, true},
+		{compactedName(3, 3), 3, 3, true, true},
+		{"wal-junk.seg", 0, 0, false, false},
+		{fmt.Sprintf("wal-%08d-%08d.seg", 9, 2), 0, 0, false, false}, // inverted range
+	}
+	for _, c := range cases {
+		a, b, compacted, ok := segRange(c.name)
+		if a != c.a || b != c.b || compacted != c.compacted || ok != c.ok {
+			t.Errorf("segRange(%q) = %d,%d,%v,%v; want %d,%d,%v,%v",
+				c.name, a, b, compacted, ok, c.a, c.b, c.compacted, c.ok)
+		}
+	}
+}

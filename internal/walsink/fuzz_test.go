@@ -13,7 +13,7 @@ import (
 	"roamsim/internal/wire"
 )
 
-var updateCorpus = flag.Bool("update-corpus", false, "rewrite testdata/fuzz/FuzzWALReplay from walCorpus()")
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the testdata/fuzz seed corpora from walCorpus()/compactCorpus()")
 
 // walRecord encodes one on-disk WAL record: wire MsgResults frame plus
 // the big-endian CRC32 trailer.
@@ -114,6 +114,92 @@ func FuzzWALReplay(f *testing.F) {
 	})
 }
 
+// compactCorpus seeds FuzzCompactRecovery: contents for the compacted
+// segment in the torn-compaction crash layout (compacted artifact and
+// its intact sources coexisting on disk) — the faithful rewrite, a torn
+// copy, a CRC flip, and garbage.
+func compactCorpus() map[string][]byte {
+	b1, b2 := mkResults(0, 2), mkResults(1, 3)
+	faithful := walRecord(append(append([]wire.Result(nil), b1...), b2...))
+	torn := append([]byte(nil), faithful[:len(faithful)/2]...)
+	flipped := append([]byte(nil), faithful...)
+	flipped[len(flipped)-1] ^= 0xff
+	return map[string][]byte{
+		"seed-faithful-rewrite": faithful,
+		"seed-torn-artifact":    torn,
+		"seed-flipped-crc":      flipped,
+		"seed-garbage":          []byte("renamed but never fsynced?! \x00\xff"),
+		"seed-empty":            {},
+	}
+}
+
+// FuzzCompactRecovery drops arbitrary bytes into the compacted-segment
+// slot of the torn-compaction crash layout — wal-00000001-00000002.seg
+// next to its intact sources wal-00000001.seg / wal-00000002.seg and an
+// active tail segment — and pins the resolution invariants: Open never
+// panics and never errors (the intact sources always cover the range),
+// Replay yields exactly Len() results, no overlapping segment files
+// survive, and a second Open agrees with the first.
+func FuzzCompactRecovery(f *testing.F) {
+	for _, name := range sortedKeys(compactCorpus()) {
+		f.Add(compactCorpus()[name])
+	}
+	b1, b2, b3 := mkResults(0, 2), mkResults(1, 3), mkResults(2, 1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		for i, batch := range [][]wire.Result{b1, b2, b3} {
+			if err := os.WriteFile(filepath.Join(dir, segName(i+1)), walRecord(batch), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, compactedName(1, 2)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			// The sources tile the artifact's range, so resolution must
+			// always find a consistent log.
+			t.Fatalf("Open on torn-compaction layout: %v", err)
+		}
+		count := 0
+		if _, err := s.Replay(0, func(wire.Result) error { count++; return nil }); err != nil {
+			t.Fatalf("Replay over resolved log: %v", err)
+		}
+		if count != s.Len() {
+			t.Fatalf("Replay yielded %d, Len says %d", count, s.Len())
+		}
+		// Whichever side won, the tail segment's records survive, and
+		// the head holds one generation, never both.
+		if count < len(b3) || count > len(b1)+len(b2)+len(b3) {
+			t.Fatalf("resolved log has %d results", count)
+		}
+		names, err := segmentNames(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevB := -1
+		for _, name := range names {
+			if a, b, _, ok := segRange(name); ok {
+				if a <= prevB {
+					t.Fatalf("overlapping segments after resolution: %v", names)
+				}
+				prevB = b
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("second Open: %v", err)
+		}
+		if s2.Len() != count {
+			t.Fatalf("reopen Len = %d, first resolution yielded %d", s2.Len(), count)
+		}
+		s2.Close()
+	})
+}
+
 func sortedKeys(m map[string][]byte) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -123,31 +209,37 @@ func sortedKeys(m map[string][]byte) []string {
 	return keys
 }
 
-// TestFuzzCorpusUpToDate pins the checked-in seed corpus to walCorpus().
-// Run with -update-corpus to regenerate after changing the record
-// format (which also means old WALs stop replaying — think twice).
+// TestFuzzCorpusUpToDate pins the checked-in seed corpora to
+// walCorpus() and compactCorpus(). Run with -update-corpus to
+// regenerate after changing the record format (which also means old
+// WALs stop replaying — think twice).
 func TestFuzzCorpusUpToDate(t *testing.T) {
-	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
-	corpus := walCorpus()
-	if *updateCorpus {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			t.Fatal(err)
-		}
-		for name, data := range corpus {
-			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
-			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+	targets := map[string]map[string][]byte{
+		"FuzzWALReplay":       walCorpus(),
+		"FuzzCompactRecovery": compactCorpus(),
+	}
+	for target, corpus := range targets {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
 				t.Fatal(err)
 			}
+			for name, data := range corpus {
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
 		}
-	}
-	for _, name := range sortedKeys(corpus) {
-		got, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			t.Fatalf("missing corpus file (run go test -run TestFuzzCorpusUpToDate -update-corpus ./internal/walsink): %v", err)
-		}
-		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", corpus[name])
-		if string(got) != want {
-			t.Fatalf("corpus file %s is stale; regenerate with -update-corpus", name)
+		for _, name := range sortedKeys(corpus) {
+			got, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("missing corpus file (run go test -run TestFuzzCorpusUpToDate -update-corpus ./internal/walsink): %v", err)
+			}
+			want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", corpus[name])
+			if string(got) != want {
+				t.Fatalf("corpus file %s/%s is stale; regenerate with -update-corpus", target, name)
+			}
 		}
 	}
 }

@@ -31,6 +31,11 @@
 // mid-log damage means lost data and must not be silently skipped.
 // Replay never yields a record past the first corruption.
 //
+// Compact (see compact.go) bounds the segment count for long campaigns:
+// it rewrites the fully-replayed head of the log into one compacted
+// segment (wal-<first>-<last>.seg) with the identical result sequence
+// and retires the originals, crash-safely at every step.
+//
 // walsink.Sink implements amigo.Sink and amigo.CursorSink, so it drops
 // into the server behind WithSink and the paged /admin/results route
 // keeps working against the on-disk log.
@@ -88,6 +93,12 @@ type Options struct {
 	// stay distinct series in one registry.
 	Obs    *obs.Registry
 	Labels []obs.Label
+	// CompactCrash, when set, is consulted at each compaction crash
+	// stage (CompactTmpWritten, CompactRenamed); returning true aborts
+	// Compact right there with ErrCompactCrashed, leaving the on-disk
+	// state exactly as a process kill at that instant would. The chaos
+	// kill-mid-compaction fault injects through this hook.
+	CompactCrash func(stage string) bool
 }
 
 // segment is one WAL file's metadata.
@@ -105,25 +116,37 @@ type Sink struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	segs     []segment // guarded by mu
-	f        *os.File  // active (last) segment, append-only; guarded by mu
-	nextSeg  int       // next segment file number; guarded by mu
-	total    int       // results across all segments; guarded by mu
-	unsynced int64     // bytes appended since the last fsync; guarded by mu
-	ebuf     []byte    // encode scratch; guarded by mu
-	err      error     // first unrecoverable I/O error; guarded by mu
-	closed   bool      // guarded by mu
+	// rd fences segment-file retirement against readers: Replay holds
+	// it shared for the whole streaming read, Compact holds it
+	// exclusive while unlinking retired sources and swapping the
+	// segment list. Lock order: rd before mu; mu alone is always fine.
+	rd sync.RWMutex
+
+	mu         sync.Mutex
+	segs       []segment // guarded by mu
+	f          *os.File  // active (last) segment, append-only; guarded by mu
+	nextSeg    int       // next segment file number; guarded by mu
+	total      int       // results across all segments; guarded by mu
+	unsynced   int64     // bytes appended since the last fsync; guarded by mu
+	ebuf       []byte    // encode scratch; guarded by mu
+	err        error     // first unrecoverable I/O error; guarded by mu
+	closed     bool      // guarded by mu
+	compacting bool      // a Compact is in flight; guarded by mu
+	retired    int       // source segments compacted away; guarded by mu
 
 	met metrics
 }
 
 type metrics struct {
-	appends *obs.Counter
-	records *obs.Counter
-	fsyncs  *obs.Counter
-	errors  *obs.Counter
-	fsyncMs *obs.Histogram
+	appends        *obs.Counter
+	records        *obs.Counter
+	fsyncs         *obs.Counter
+	errors         *obs.Counter
+	compactions    *obs.Counter
+	compactRetired *obs.Counter
+	compactInB     *obs.Counter
+	compactOutB    *obs.Counter
+	fsyncMs        *obs.Histogram
 }
 
 // Open opens (or creates) the WAL in dir, scanning existing segments,
@@ -141,7 +164,7 @@ func Open(dir string, opts Options) (*Sink, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("walsink: %w", err)
 	}
-	names, err := segmentNames(dir)
+	names, err := resolveSegments(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -158,18 +181,27 @@ func Open(dir string, opts Options) (*Sink, error) {
 			if i != len(names)-1 {
 				return nil, fmt.Errorf("walsink: segment %s is corrupt mid-log; only the final segment may carry a torn tail", name)
 			}
+			if isCompacted(name) {
+				// A compacted segment is written whole and renamed into
+				// place after an fsync — it can never carry a torn
+				// tail. Damage here is real data loss, not a crash
+				// artifact, and truncation would silently drop records.
+				return nil, fmt.Errorf("walsink: compacted segment %s is corrupt; durable records were damaged", name)
+			}
 			if err := os.Truncate(path, valid); err != nil {
 				return nil, fmt.Errorf("walsink: truncating torn tail of %s: %w", name, err)
 			}
 		}
 		s.segs = append(s.segs, segment{name: name, first: cursor, count: count, size: valid})
 		cursor += count
-		if n, ok := segNumber(name); ok && n >= s.nextSeg {
-			s.nextSeg = n + 1
+		if _, b, _, ok := segRange(name); ok && b >= s.nextSeg {
+			s.nextSeg = b + 1
 		}
 	}
 	s.total = cursor
-	if len(s.segs) == 0 {
+	if len(s.segs) == 0 || isCompacted(s.segs[len(s.segs)-1].name) {
+		// No segments yet, or the newest file is a sealed compacted
+		// segment: appends need a fresh plain segment.
 		if err := s.addSegmentLocked(); err != nil {
 			return nil, err
 		}
@@ -187,11 +219,15 @@ func Open(dir string, opts Options) (*Sink, error) {
 func (s *Sink) initObs() {
 	reg, labels := s.opts.Obs, s.opts.Labels
 	s.met = metrics{
-		appends: reg.Counter("walsink_appends_total", labels...),
-		records: reg.Counter("walsink_records_total", labels...),
-		fsyncs:  reg.Counter("walsink_fsyncs_total", labels...),
-		errors:  reg.Counter("walsink_errors_total", labels...),
-		fsyncMs: reg.Histogram("walsink_fsync_ms", labels...),
+		appends:        reg.Counter("walsink_appends_total", labels...),
+		records:        reg.Counter("walsink_records_total", labels...),
+		fsyncs:         reg.Counter("walsink_fsyncs_total", labels...),
+		errors:         reg.Counter("walsink_errors_total", labels...),
+		compactions:    reg.Counter("walsink_compactions_total", labels...),
+		compactRetired: reg.Counter("walsink_compact_retired_segments_total", labels...),
+		compactInB:     reg.Counter("walsink_compact_in_bytes_total", labels...),
+		compactOutB:    reg.Counter("walsink_compact_out_bytes_total", labels...),
+		fsyncMs:        reg.Histogram("walsink_fsync_ms", labels...),
 	}
 	reg.GaugeFunc("walsink_segments", func() float64 {
 		n, _ := s.Segments()
@@ -434,14 +470,18 @@ func (s *Sink) Since(cursor int) ([]wire.Result, int) {
 // Replay streams every durable result at positions >= cursor through fn
 // in log order and returns the cursor one past the last result yielded.
 // It reads only committed bytes, so it is safe concurrently with
-// Append. A non-nil error from fn aborts the replay and is returned.
-// Replay never yields a record past a corruption: committed bytes are
-// re-verified (CRC + strict decode) on the way out, and the first
-// mismatch stops the stream with an error.
+// Append, and it holds the retirement lock shared so a concurrent
+// Compact cannot unlink a segment out from under the stream. A non-nil
+// error from fn aborts the replay and is returned. Replay never yields
+// a record past a corruption: committed bytes are re-verified (CRC +
+// strict decode) on the way out, and the first mismatch stops the
+// stream with an error.
 func (s *Sink) Replay(cursor int, fn func(wire.Result) error) (int, error) {
 	if cursor < 0 {
 		cursor = 0
 	}
+	s.rd.RLock()
+	defer s.rd.RUnlock()
 	s.mu.Lock()
 	segs := append([]segment(nil), s.segs...)
 	s.mu.Unlock()

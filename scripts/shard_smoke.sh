@@ -29,7 +29,7 @@ OUT="$TMP/fleet.txt"
 "$TMP/roam-fleet" -mes 12 -reps 1 -proto v3 \
     -shards 4 -wal-dir "$TMP/wal-fleet" -kill-shard 0 -crosscheck > "$OUT"
 
-grep -q '^shards: 4 shards, 1 killed and recovered' "$OUT" || {
+grep -q '^shards: 4 shards (WAL epoch 0), 1 killed and recovered' "$OUT" || {
     echo "shard-smoke: expected exactly one shard kill+recovery" >&2
     grep '^shards:' "$OUT" >&2 || true
     exit 1
