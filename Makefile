@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet lint lint-json build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke reshard-smoke vclock-smoke fuzz-short
+.PHONY: verify vet lint lint-json lint-allows lint-guard build test race bench bench-fleet bench-json chaos-smoke metrics-smoke shard-smoke reshard-smoke vclock-smoke fuzz-short FORCE
 
 ## verify: the CI entry point — vet, the roamvet determinism/hygiene
 ## analyzers, build, race-enabled tests, a one-iteration fleet
@@ -8,24 +8,40 @@ GO ?= go
 ## suite under the race detector, the observability endpoint smoke, the
 ## sharded control-plane / WAL durability smoke, the live-reshard +
 ## WAL-compaction smoke, and the virtual-time engine smoke.
-verify: vet lint build race bench-fleet chaos-smoke metrics-smoke shard-smoke reshard-smoke vclock-smoke
+verify: vet lint lint-guard build race bench-fleet chaos-smoke metrics-smoke shard-smoke reshard-smoke vclock-smoke
 
 vet:
 	$(GO) vet ./...
 
-## lint: run the five roamvet analyzers (ROAM001-005) over the whole
-## module; nonzero exit on any finding. The binary is cached under bin/
-## and rebuilt whenever its sources change.
-bin/roamvet: $(wildcard cmd/roamvet/*.go internal/lint/*.go)
+## lint: run the nine roamvet analyzers (ROAM001-009) over the whole
+## module; nonzero exit on any finding. The binary is rebuilt
+## unconditionally — the Go build cache makes that cheap, and a
+## prerequisite list built from $(wildcard) goes quietly stale when a
+## source file is deleted (the list shrinks, the timestamp comparison
+## passes, and an outdated roamvet green-lights the tree).
+bin/roamvet: FORCE
 	$(GO) build -o bin/roamvet ./cmd/roamvet
+
+FORCE:
 
 lint: bin/roamvet
 	./bin/roamvet
 
-## lint-json: same findings as machine-readable JSON (for editor/CI
-## integration).
+## lint-json: findings plus the //lint:allow waiver inventory as JSON
+## (for editor/CI integration).
 lint-json: bin/roamvet
 	./bin/roamvet -json
+
+## lint-allows: the active //lint:allow directives — every place the
+## tree opts out of a contract, and why.
+lint-allows: bin/roamvet
+	./bin/roamvet -allows
+
+## lint-guard: assert a full-module roamvet run finishes inside its
+## wall-clock budget (30s) — the flow-aware analyzers must stay cheap
+## enough to run on every push.
+lint-guard: bin/roamvet
+	bash scripts/lint_guard.sh
 
 build:
 	$(GO) build ./...

@@ -378,6 +378,7 @@ func selfHost(inj *chaos.Injector, reg *obs.Registry, shards int, walDir string,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	//lint:allow gojoin server goroutine lives until shutdown() closes the listener, which makes Serve return
 	go hs.Serve(ln)
 	shutdown := func() {
 		hs.Close()

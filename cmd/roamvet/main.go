@@ -1,13 +1,20 @@
-// Command roamvet runs the repo's static-analysis suite: five
-// analyzers that enforce the determinism and hygiene contracts the
-// byte-identical-dataset guarantee rests on (see internal/lint and the
-// "Determinism contract" section of DESIGN.md).
+// Command roamvet runs the repo's static-analysis suite: nine
+// analyzers that enforce the determinism, hygiene, crash-safety, and
+// concurrency contracts the byte-identical-dataset guarantee rests on
+// (see internal/lint and the "Determinism contract" section of
+// DESIGN.md).
 //
 //	roamvet                     # analyze every package in the module
 //	roamvet -only wallclock     # run a subset
 //	roamvet -skip bodyhygiene   # run everything but
-//	roamvet -json               # machine-readable findings (editors, CI)
+//	roamvet -json               # machine-readable report (editors, CI)
+//	roamvet -allows             # print the //lint:allow waiver inventory
 //	roamvet -C /path/to/module  # analyze another checkout
+//
+// The -json report carries both the findings and the full inventory of
+// active //lint:allow directives (file, line, analyzer, reason), so a
+// CI artifact shows every place the tree opts out of a contract — and
+// why — not just where it violates one.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -21,13 +28,20 @@ import (
 	"roamsim/internal/lint"
 )
 
+// report is the -json output schema.
+type report struct {
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Allows      []lint.Allow      `json:"allows"`
+}
+
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated analyzers to run (default: all)")
-		skip    = flag.String("skip", "", "comma-separated analyzers to skip")
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		dir     = flag.String("C", ".", "module directory to analyze")
-		list    = flag.Bool("list", false, "list analyzers and exit")
+		only      = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip      = flag.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut   = flag.Bool("json", false, "emit findings and the allow inventory as JSON")
+		showAllow = flag.Bool("allows", false, "print active //lint:allow directives and exit")
+		dir       = flag.String("C", ".", "module directory to analyze")
+		list      = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Parse()
 
@@ -54,23 +68,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	var diags []lint.Diagnostic
 	loadBroken := false
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrs {
 			fmt.Fprintf(os.Stderr, "roamvet: %s: type error: %v\n", p.Path, terr)
 			loadBroken = true
 		}
-		diags = append(diags, lint.Check(p, analyzers)...)
 	}
 
+	allows := lint.Allows(pkgs)
+	if *showAllow {
+		for _, a := range allows {
+			fmt.Printf("%s:%d: allow %s: %s\n", a.File, a.Line, a.Analyzer, a.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "roamvet: %d active allow directive(s)\n", len(allows))
+		if loadBroken {
+			os.Exit(2)
+		}
+		return
+	}
+
+	diags := lint.CheckModule(pkgs, analyzers)
+
 	if *jsonOut {
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+		rep := report{Diagnostics: diags, Allows: allows}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []lint.Diagnostic{}
+		}
+		if rep.Allows == nil {
+			rep.Allows = []lint.Allow{}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "roamvet:", err)
 			os.Exit(2)
 		}

@@ -88,7 +88,23 @@ func writeWALManifest(root string, m walManifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, manifestPath(root))
+	if err := os.Rename(tmp, manifestPath(root)); err != nil {
+		return err
+	}
+	return fsyncDir(root)
+}
+
+// fsyncDir makes the manifest rename durable. Without it the rename —
+// the commit point of the whole reshard — can itself vanish on power
+// loss, resurrecting the previous epoch under shards that already
+// re-homed their records.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func readWALManifest(root string) (walManifest, bool, error) {

@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+// BenchmarkRoamvet measures a full-module run of the whole suite —
+// load + type-check + all nine analyzers including the module-wide
+// lock graph — which is exactly what `make lint` pays on every push.
+// scripts/lint_guard.sh enforces the wall-clock budget in CI; this
+// benchmark is where a regression gets localized.
+func BenchmarkRoamvet(b *testing.B) {
+	analyzers := Analyzers()
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags := CheckModule(pkgs, analyzers)
+		if len(diags) != 0 {
+			b.Fatalf("tree is not lint-clean: %d findings, first: %s", len(diags), diags[0])
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package lint
+
+// Intraprocedural control-flow graph + dataflow engine.
+//
+// The flow-aware analyzers (ROAM006 fsyncrename, ROAM008 gojoin,
+// ROAM009 lockorder) need to answer "on every path" / "on some path"
+// questions that a plain ast.Inspect cannot: is this os.Rename
+// preceded by a File.Sync on every way into it, is it followed by a
+// directory fsync on every way out, does a WaitGroup.Add reach this go
+// statement, which mutexes may be held at this acquisition? This file
+// gives them a deliberately small shared engine:
+//
+//   - buildCFG lowers one function body to basic blocks of statements
+//     with branch/loop/switch/select/defer-aware edges. Granularity is
+//     the statement: a node is an ast.Stmt (or a loop/if condition
+//     expression), and transfer functions inspect inside it without
+//     crossing into nested func literals.
+//   - funcCFG.solve runs iterative dataflow to a fixed point over the
+//     blocks, forward or backward, with may (union) or must
+//     (intersection) meet, and hands back the fact set at each node.
+//
+// Deliberate coarseness, documented so analyzer findings are
+// explainable: goto edges go straight to the exit block (none of the
+// contract code uses goto); fallthrough in a switch falls to the join
+// like a break (rare, and over-approximating paths only makes must
+// analyses stricter); deferred calls run on the single exit block even
+// when registration was conditional. Facts are plain strings, so the
+// engine stays generic and an analyzer's transfer function reads as a
+// contract statement.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: statements that execute in sequence,
+// with edges to every possible successor block.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. exit is the
+// unique sink; it carries the function's deferred calls in reverse
+// registration order, so "on every path to return" analyses see them.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+type loopCtx struct {
+	brk  *cfgBlock // break target
+	cont *cfgBlock // continue target (nil for switch/select contexts)
+}
+
+type cfgBuilder struct {
+	g            *funcCFG
+	loops        []loopCtx           // innermost-last stack for bare break/continue
+	labels       map[string]*loopCtx // labeled break/continue targets
+	defers       []ast.Node          // deferred CallExprs in registration order
+	pendingLabel string              // label awaiting its loop/switch context
+}
+
+// buildCFG lowers body to a funcCFG. It never returns nil: an empty
+// body yields entry → exit.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, labels: map[string]*loopCtx{}}
+	b.g.exit = b.newBlock()
+	b.g.entry = b.newBlock()
+	last := b.stmtList(b.g.entry, body.List)
+	b.edge(last, b.g.exit)
+	// Deferred calls run between any return and the true function exit.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.g.exit.nodes = append(b.g.exit.nodes, b.defers[i])
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// edge links from → to; a nil from (control never falls through) is a
+// no-op.
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) stmtList(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt wires s into the graph starting at cur and returns the block
+// control falls out of, or nil if control never falls through (return,
+// break, continue, panic).
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	if cur == nil {
+		// Unreachable code still gets a block (no preds), so analyses
+		// can look facts up without special cases.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenEnd := b.stmt(thenB, s.Body)
+		var elseEnd *cfgBlock
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseEnd = b.stmt(elseB, s.Else)
+		}
+		if s.Else == nil {
+			join := b.newBlock()
+			b.edge(cur, join) // condition false
+			b.edge(thenEnd, join)
+			return join
+		}
+		if thenEnd == nil && elseEnd == nil {
+			return nil
+		}
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		b.edge(elseEnd, join)
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		ctx := loopCtx{brk: after, cont: cont}
+		b.loops = append(b.loops, ctx)
+		b.bindLabel(s, &ctx)
+		body := b.newBlock()
+		b.edge(head, body)
+		bodyEnd := b.stmt(body, s.Body)
+		b.edge(bodyEnd, cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// The RangeStmt node itself stands for the per-iteration
+		// key/value binding and the ranged expression.
+		head.nodes = append(head.nodes, s)
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after)
+		ctx := loopCtx{brk: after, cont: head}
+		b.loops = append(b.loops, ctx)
+		b.bindLabel(s, &ctx)
+		body := b.newBlock()
+		b.edge(head, body)
+		bodyEnd := b.stmt(body, s.Body)
+		b.edge(bodyEnd, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, clauses = s.Init, s.Tag, s.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag, clauses = s.Init, s.Assign, s.Body.List
+		}
+		if init != nil {
+			cur.nodes = append(cur.nodes, init)
+		}
+		if tag != nil {
+			cur.nodes = append(cur.nodes, tag)
+		}
+		after := b.newBlock()
+		ctx := loopCtx{brk: after}
+		b.loops = append(b.loops, ctx)
+		b.bindLabel(s, &ctx)
+		hasDefault := false
+		for _, cl := range clauses {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			for _, e := range cc.List {
+				cb.nodes = append(cb.nodes, e)
+			}
+			end := b.stmtList(cb, cc.Body)
+			b.edge(end, after)
+		}
+		if !hasDefault {
+			b.edge(cur, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		ctx := loopCtx{brk: after}
+		b.loops = append(b.loops, ctx)
+		b.bindLabel(s, &ctx)
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			if cc.Comm != nil {
+				cb.nodes = append(cb.nodes, cc.Comm)
+			}
+			end := b.stmtList(cb, cc.Body)
+			b.edge(end, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				b.edge(cur, t)
+			}
+			return nil
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				b.edge(cur, t)
+			}
+			return nil
+		case token.GOTO:
+			// Coarse: none of the contract code uses goto. Routing it to
+			// exit keeps every path terminated without label threading.
+			b.edge(cur, b.g.exit)
+			return nil
+		default: // fallthrough — over-approximate as falling to the join
+			return cur
+		}
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		return b.stmt(cur, s.Stmt)
+
+	case *ast.DeferStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.defers = append(b.defers, s.Call)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if isTerminalCall(s.X) {
+			b.edge(cur, b.g.exit)
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, go/send/inc-dec, empties.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// branchTarget resolves break/continue to its loop (or labeled) target.
+func (b *cfgBuilder) branchTarget(label *ast.Ident, isBreak bool) *cfgBlock {
+	if label != nil {
+		if ctx := b.labels[label.Name]; ctx != nil {
+			if isBreak {
+				return ctx.brk
+			}
+			return ctx.cont
+		}
+		return b.g.exit // unresolvable label: bail to exit
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		ctx := b.loops[i]
+		if isBreak {
+			return ctx.brk
+		}
+		if ctx.cont != nil { // bare continue skips switch/select contexts
+			return ctx.cont
+		}
+	}
+	return b.g.exit
+}
+
+// bindLabel attaches the most recent pending label to the loop/switch
+// context just pushed.
+func (b *cfgBuilder) bindLabel(_ ast.Stmt, ctx *loopCtx) {
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = ctx
+		b.pendingLabel = ""
+	}
+}
+
+// isTerminalCall reports whether e is a call that never returns:
+// panic(...) or os.Exit(...).
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return (id.Name == "os" && fun.Sel.Name == "Exit") ||
+				(id.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"))
+		}
+	}
+	return false
+}
+
+// facts is a dataflow fact set: fact name → present. The nil map is a
+// valid empty set; solvers copy before mutating.
+type facts map[string]bool
+
+func (f facts) clone() facts {
+	out := make(facts, len(f))
+	for k, v := range f {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func factsEqual(a, b facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// meet combines predecessor fact sets. For must analyses the identity
+// is ⊤ (represented by a nil slice of inputs → nil result handled by
+// the caller); intersection otherwise. For may analyses it is union.
+func meet(must bool, sets []facts) facts {
+	if len(sets) == 0 {
+		return facts{}
+	}
+	out := sets[0].clone()
+	for _, s := range sets[1:] {
+		if must {
+			for k := range out {
+				if !s[k] {
+					delete(out, k)
+				}
+			}
+		} else {
+			for k := range s {
+				out[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// solve runs iterative dataflow to a fixed point and returns, for each
+// node, the fact set immediately BEFORE it in execution order when
+// forward, or immediately AFTER it when backward. transfer receives a
+// private copy it may mutate and return.
+//
+// Boundary facts are empty: nothing is known at function entry
+// (forward) or after function exit (backward). Unreached blocks (no
+// predecessors in the relevant direction beyond the boundary) start
+// from ⊤ for must analyses, so unreachable code never fails a must
+// check.
+func (g *funcCFG) solve(forward, must bool, transfer func(n ast.Node, in facts) facts) map[ast.Node]facts {
+	// out[b]: facts leaving b in the direction of travel.
+	out := map[*cfgBlock]facts{}
+	boundary := g.entry
+	if !forward {
+		boundary = g.exit
+	}
+
+	inEdges := func(b *cfgBlock) []*cfgBlock {
+		if forward {
+			return b.preds
+		}
+		return b.succs
+	}
+	nodesOf := func(b *cfgBlock) []ast.Node {
+		if forward {
+			return b.nodes
+		}
+		rev := make([]ast.Node, len(b.nodes))
+		for i, n := range b.nodes {
+			rev[len(b.nodes)-1-i] = n
+		}
+		return rev
+	}
+
+	blockIn := func(b *cfgBlock) facts {
+		if b == boundary {
+			return facts{}
+		}
+		var sets []facts
+		for _, p := range inEdges(b) {
+			if o, ok := out[p]; ok {
+				sets = append(sets, o)
+			} else if !must {
+				sets = append(sets, facts{})
+			}
+			// For must analyses an unsolved predecessor is ⊤ and drops
+			// out of the intersection.
+		}
+		if sets == nil {
+			if must {
+				return nil // ⊤: no constraint yet
+			}
+			return facts{}
+		}
+		return meet(must, sets)
+	}
+
+	// Iterate to fixed point. Transfers are monotone set/clear
+	// operations and blocks are small, so simple rounds converge fast;
+	// the cap is a safety net, not a tuning knob.
+	for round := 0; round < 4*len(g.blocks)+8; round++ {
+		changed := false
+		for _, b := range g.blocks {
+			in := blockIn(b)
+			if in == nil {
+				continue // ⊤ stays ⊤ until a predecessor resolves
+			}
+			cur := in.clone()
+			for _, n := range nodesOf(b) {
+				cur = transfer(n, cur)
+			}
+			if prev, ok := out[b]; !ok || !factsEqual(prev, cur) {
+				out[b] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final pass: record per-node facts. Blocks still at ⊤ (unreachable
+	// in the direction of travel) record nothing: a missing entry tells
+	// the analyzer "no flow information", and analyzers skip the check
+	// rather than report on dead code.
+	result := map[ast.Node]facts{}
+	for _, b := range g.blocks {
+		in := blockIn(b)
+		if in == nil {
+			continue
+		}
+		cur := in.clone()
+		for _, n := range nodesOf(b) {
+			result[n] = cur.clone()
+			cur = transfer(n, cur)
+		}
+	}
+	return result
+}
+
+// inspectShallow walks n without descending into nested function
+// literals: flow analyses must not attribute a closure's body to the
+// enclosing function's program point.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ROAM007 clockpurity: packages migrated onto the injectable campaign
+// clock (PR 8's internal/vclock) must not construct wall-clock timers
+// or deadline contexts behind its back. ROAM001 already rejects the
+// direct reads and sleeps (time.Now/Since/Sleep/After/Tick); this
+// analyzer closes the constructor-shaped loopholes that slip past a
+// call-site check:
+//
+//   - context.WithTimeout / context.WithDeadline — a wall-clock
+//     deadline buried in a context silently stalls a virtual-time
+//     campaign: virtual time finishes the run in milliseconds while
+//     the context still measures real seconds (or, worse, expires real
+//     timeouts mid-quiescence and perturbs the advance sequence).
+//     vclock.ContextWithTimeout is the sanctioned replacement.
+//   - time.NewTimer / time.NewTicker / time.AfterFunc — a timer built
+//     here fires on the runtime's wall scheduler, invisible to the
+//     Virtual clock's quiescence detection. vclock.Clock.NewTimer /
+//     After are the replacements.
+//
+// The scope is the same deterministic map ROAM001 uses: every package
+// whose waits were migrated in PR 8, plus vclock itself — whose Real
+// implementation is the one sanctioned home of these constructors and
+// carries visible //lint:allow directives.
+var clockpurityAnalyzer = &Analyzer{
+	Name: "clockpurity",
+	Code: "ROAM007",
+	Doc:  "no wall-clock timer or deadline-context constructors bypass the injected vclock.Clock in migrated packages",
+	// Run is wired in init to avoid an initialization cycle
+	// (the run function references the analyzer for diagnostics).
+}
+
+func init() { clockpurityAnalyzer.Run = runClockpurity }
+
+var clockpurityBanned = map[string]map[string]string{
+	"context": {
+		"WithTimeout":  "vclock.ContextWithTimeout",
+		"WithDeadline": "vclock.ContextWithDeadline",
+	},
+	"time": {
+		"NewTimer":  "Clock.NewTimer",
+		"NewTicker": "Clock.NewTimer (re-armed)",
+		"AfterFunc": "Clock.After",
+	},
+}
+
+func runClockpurity(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		if !deterministic(p, filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, obj := importedPkg(p, sel)
+			if obj == nil {
+				return true
+			}
+			if repl, ok := clockpurityBanned[pkgPath][sel.Sel.Name]; ok {
+				out = append(out, diag(p, clockpurityAnalyzer, sel.Pos(),
+					"%s.%s in deterministic package %s bypasses the injected vclock.Clock: use %s",
+					pkgBase(pkgPath), sel.Sel.Name, p.Path, repl))
+			}
+			return true
+		})
+	}
+	return out
+}

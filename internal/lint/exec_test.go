@@ -59,7 +59,7 @@ func TestRoamvetExitCodes(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("seeded module: exit %d, want 1\n%s", code, out)
 	}
-	for _, want := range []string{"ROAM001", "ROAM003", "ROAM004"} {
+	for _, want := range []string{"ROAM001", "ROAM003", "ROAM004", "ROAM007"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("seeded module output missing %s:\n%s", want, out)
 		}
@@ -73,16 +73,111 @@ func TestRoamvetExitCodes(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("-json seeded module: exit %d, want 1\n%s", code, out)
 	}
-	var diags []Diagnostic
-	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+	var rep struct {
+		Diagnostics []Diagnostic `json:"diagnostics"`
+		Allows      []Allow      `json:"allows"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("-json output does not parse: %v\n%s", err, out)
 	}
-	if len(diags) < 3 {
-		t.Fatalf("-json reported %d findings, want >= 3", len(diags))
+	if len(rep.Diagnostics) < 4 {
+		t.Fatalf("-json reported %d findings, want >= 4", len(rep.Diagnostics))
 	}
-	for _, d := range diags {
+	for _, d := range rep.Diagnostics {
 		if d.File == "" || d.Line == 0 || !strings.HasPrefix(d.Code, "ROAM") {
 			t.Errorf("malformed JSON diagnostic: %+v", d)
+		}
+	}
+	if len(rep.Allows) != 1 {
+		t.Fatalf("-json reported %d allows, want 1:\n%s", len(rep.Allows), out)
+	}
+	if a := rep.Allows[0]; a.Analyzer != "wallclock" || a.Reason == "" || a.File == "" || a.Line == 0 {
+		t.Errorf("malformed JSON allow entry: %+v", a)
+	}
+
+	out, code = run("-allows")
+	if code != 0 {
+		t.Fatalf("-allows on seeded module: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "allow wallclock:") || !strings.Contains(out, "exercises the allow inventory") {
+		t.Errorf("-allows output missing the seeded waiver:\n%s", out)
+	}
+}
+
+// TestFsyncrenameFiresOnCompactMutant is the crash-safety proof the
+// analyzer exists for: take the REAL walsink.Compact, strip the
+// directory fsync after the compacted-segment rename, and assert
+// ROAM006 fires on the rename — and that the unmutated package is
+// clean, so the finding is the mutation's, not noise.
+func TestFsyncrenameFiresOnCompactMutant(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "walsink", "compact.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const guard = "if err := fsyncDir(s.dir); err != nil {\n\t\treturn st, err\n\t}\n\t"
+	mutant := strings.Replace(string(src), guard, "", 1)
+	if mutant == string(src) {
+		t.Fatalf("mutation target not found: walsink.Compact no longer fsyncs the dir with the expected shape")
+	}
+
+	scratch := t.TempDir()
+	for _, name := range []string{"walsink.go"} {
+		data, err := os.ReadFile(filepath.Join("..", "walsink", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(scratch, "compact.go"), []byte(mutant), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	analyzers, err := Select("fsyncrename", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The real package first: clean, proving the baseline.
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := loader.Load("roamsim/internal/walsink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Check(real, analyzers) {
+		t.Errorf("unmutated walsink has a fsyncrename finding: %s", d)
+	}
+
+	// The mutant: loaded from the scratch dir under the walsink import
+	// path so the durability scope applies; module-local imports still
+	// resolve through the real module.
+	mloader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mloader.LoadDir(scratch, "roamsim/internal/walsink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range p.TypeErrs {
+		t.Fatalf("mutant package does not type-check: %v", terr)
+	}
+	diags := Check(p, analyzers)
+	found := false
+	for _, d := range diags {
+		if d.Code == "ROAM006" && strings.HasSuffix(d.File, "compact.go") &&
+			strings.Contains(d.Message, "directory fsync") && strings.Contains(d.Message, "Compact") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ROAM006 did not fire on the rename-without-dir-fsync mutant of walsink.Compact; got %d diagnostics:", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
 		}
 	}
 }

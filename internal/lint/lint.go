@@ -15,10 +15,21 @@
 //	                     read through a bound on every path
 //	ROAM005 guardedfield fields annotated "guarded by <mu>" are only
 //	                     touched with <mu> held
+//	ROAM006 fsyncrename  durable renames are fenced: tmp → File.Sync →
+//	                     os.Rename → directory fsync, on every path
+//	ROAM007 clockpurity  no wall-clock timer/deadline-context
+//	                     constructors bypass the injected vclock.Clock
+//	ROAM008 gojoin       every control-plane go statement has a join
+//	                     path (WaitGroup pairing or channel collector)
+//	ROAM009 lockorder    the module-wide mutex acquisition graph is
+//	                     acyclic
 //
-// Each analyzer works on one type-checked package at a time and emits
-// file:line diagnostics. Violations that are intentional carry an
-// explicit escape hatch on the same or the preceding line:
+// ROAM001–005 are syntactic; ROAM006–009 are flow-aware and run on the
+// shared CFG + dataflow engine in cfg.go. Most analyzers work on one
+// type-checked package at a time and emit file:line diagnostics;
+// lockorder sees the whole module at once (Analyzer.RunModule).
+// Violations that are intentional carry an explicit escape hatch on
+// the same or the preceding line:
 //
 //	//lint:allow wallclock <reason>
 //
@@ -55,15 +66,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]: %s", d.File, d.Line, d.Col, d.Code, d.Analyzer, d.Message)
 }
 
-// An Analyzer inspects one type-checked package and reports contract
-// violations. Run must be safe to call on packages with partial type
-// information (nil entries in Info maps) — analyzers degrade to
-// reporting nothing rather than panicking.
+// An Analyzer inspects type-checked packages and reports contract
+// violations. Per-package analyzers set Run; analyzers whose contract
+// spans package boundaries (lockorder's module-wide mutex graph) set
+// RunModule instead and see every loaded package at once. Either entry
+// point must be safe to call on packages with partial type information
+// (nil entries in Info maps) — analyzers degrade to reporting nothing
+// rather than panicking.
 type Analyzer struct {
-	Name string // short selector name, e.g. "wallclock"
-	Code string // stable diagnostic code, e.g. "ROAM001"
-	Doc  string // one-line contract statement
-	Run  func(p *Package) []Diagnostic
+	Name      string // short selector name, e.g. "wallclock"
+	Code      string // stable diagnostic code, e.g. "ROAM001"
+	Doc       string // one-line contract statement
+	Run       func(p *Package) []Diagnostic
+	RunModule func(pkgs []*Package) []Diagnostic
 }
 
 // Analyzers is the full suite in code order.
@@ -74,6 +89,10 @@ func Analyzers() []*Analyzer {
 		maporderAnalyzer,
 		bodyhygieneAnalyzer,
 		guardedfieldAnalyzer,
+		fsyncrenameAnalyzer,
+		clockpurityAnalyzer,
+		gojoinAnalyzer,
+		lockorderAnalyzer,
 	}
 }
 
@@ -131,23 +150,48 @@ func analyzerNames(as []*Analyzer) string {
 	return strings.Join(names, ", ")
 }
 
-// Check runs the given analyzers over pkg, applies //lint:allow
-// suppression, and returns the surviving diagnostics sorted by
-// position. Bare allow directives (no reason) are reported as ROAM000.
+// Check runs the given analyzers over one package, applies
+// //lint:allow suppression, and returns the surviving diagnostics
+// sorted by position. Module analyzers see just this package.
 func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return CheckModule([]*Package{pkg}, analyzers)
+}
+
+// CheckModule runs the given analyzers over the loaded packages:
+// per-package analyzers on each package, module analyzers once over
+// the whole set. //lint:allow suppression applies across all of them,
+// and bare allow directives (no reason) are reported as ROAM000. The
+// result is sorted by position.
+func CheckModule(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		diags = append(diags, a.Run(pkg)...)
+		if a.Run == nil {
+			continue
+		}
+		for _, p := range pkgs {
+			diags = append(diags, a.Run(p)...)
+		}
 	}
-	allows, malformed := collectAllows(pkg)
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			diags = append(diags, a.RunModule(pkgs)...)
+		}
+	}
+	allows := allowSet{}
 	var out []Diagnostic
+	for _, p := range pkgs {
+		list, malformed := collectAllows(p)
+		for _, al := range list {
+			allows[allowKey{al.File, al.Line, al.Analyzer}] = true
+		}
+		out = append(out, malformed...)
+	}
 	for _, d := range diags {
 		if allows.covers(d.File, d.Line, d.Analyzer) {
 			continue
 		}
 		out = append(out, d)
 	}
-	out = append(out, malformed...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -156,6 +200,34 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			return out[i].Line < out[j].Line
 		}
 		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// An Allow is one active //lint:allow directive: the waiver inventory
+// roamvet -json and -allows expose so CI artifacts show every place
+// the tree opts out of a contract, and why.
+type Allow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// Allows returns every well-formed allow directive in the given
+// packages, sorted by position. Malformed (reasonless) directives are
+// excluded — those are ROAM000 findings, not waivers.
+func Allows(pkgs []*Package) []Allow {
+	var out []Allow
+	for _, p := range pkgs {
+		list, _ := collectAllows(p)
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
 	})
 	return out
 }
@@ -192,11 +264,12 @@ func (s allowSet) covers(file string, line int, analyzer string) bool {
 }
 
 // collectAllows scans every comment in the package for allow
-// directives. A directive with an empty reason is returned as a
-// malformed-directive diagnostic (ROAM000) instead of a suppression:
-// the justification is part of the contract.
-func collectAllows(p *Package) (allowSet, []Diagnostic) {
-	allows := allowSet{}
+// directives and returns them with their reasons. A directive with an
+// empty reason is returned as a malformed-directive diagnostic
+// (ROAM000) instead of a suppression: the justification is part of the
+// contract.
+func collectAllows(p *Package) ([]Allow, []Diagnostic) {
+	var allows []Allow
 	var malformed []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -218,7 +291,12 @@ func collectAllows(p *Package) (allowSet, []Diagnostic) {
 					})
 					continue
 				}
-				allows[allowKey{pos.Filename, pos.Line, m[1]}] = true
+				allows = append(allows, Allow{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Analyzer: m[1],
+					Reason:   strings.TrimSpace(m[2]),
+				})
 			}
 		}
 	}

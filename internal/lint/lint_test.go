@@ -134,20 +134,41 @@ func TestGoldenDiagnostics(t *testing.T) {
 	t.Run("guardedfield", func(t *testing.T) {
 		checkGolden(t, loader, "guardedfield", nonDet+"/guardedgolden", "guardedfield")
 	})
+	t.Run("fsyncrename", func(t *testing.T) {
+		// Loaded under walsink so the durability scope applies.
+		checkGolden(t, loader, "fsyncrename", "roamsim/internal/walsink/fsyncgolden", "fsyncrename")
+	})
+	t.Run("clockpurity", func(t *testing.T) {
+		checkGolden(t, loader, "clockpurity", det+"/clockgolden", "clockpurity")
+	})
+	t.Run("gojoin", func(t *testing.T) {
+		// Loaded under fleet so the control-plane scope applies.
+		checkGolden(t, loader, "gojoin", "roamsim/internal/fleet/joingolden", "gojoin")
+	})
+	t.Run("lockorder", func(t *testing.T) {
+		// lockorder is scope-free (module-wide); any path works.
+		checkGolden(t, loader, "lockorder", "roamsim/internal/shard/lockgolden", "lockorder")
+	})
+	t.Run("flow-scope", func(t *testing.T) {
+		// The same violation shapes under a path outside every flow
+		// analyzer's scope: nothing reported.
+		checkGolden(t, loader, "flowscope", "roamsim/pkgx/scopegolden",
+			"fsyncrename", "clockpurity", "gojoin")
+	})
 }
 
 func TestSelect(t *testing.T) {
 	all, err := Select("", "")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("Select(all) = %d analyzers, err %v; want 5", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("Select(all) = %d analyzers, err %v; want 9", len(all), err)
 	}
 	only, err := Select("wallclock,maporder", "")
 	if err != nil || len(only) != 2 {
 		t.Fatalf("Select(only) = %d analyzers, err %v; want 2", len(only), err)
 	}
 	skip, err := Select("", "bodyhygiene")
-	if err != nil || len(skip) != 4 {
-		t.Fatalf("Select(skip) = %d analyzers, err %v; want 4", len(skip), err)
+	if err != nil || len(skip) != 8 {
+		t.Fatalf("Select(skip) = %d analyzers, err %v; want 8", len(skip), err)
 	}
 	if _, err := Select("nosuch", ""); err == nil {
 		t.Fatal("Select with unknown analyzer did not error")

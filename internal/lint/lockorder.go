@@ -1,0 +1,609 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ROAM009 lockorder: the module-wide mutex acquisition graph must be
+// acyclic. Two code paths that take the same pair of locks in opposite
+// orders deadlock the first time they interleave — and in this repo
+// that interleaving is exactly what the chaos/reshard suites provoke
+// (gateway Pause vs upload-path compaction, WAL reader fences vs
+// writer state). The race detector cannot see a lock-order inversion
+// that did not happen in a given run; this analyzer proves the
+// absence class instead.
+//
+// The graph is built module-wide, one node per mutex IDENTITY — a
+// named struct's mutex field (walsink.Sink.mu), or a package-level
+// mutex variable — not per instance. Edges come from three sources:
+//
+//   - direct flow: within one function, acquiring B at a point where
+//     the CFG's may-held analysis says A is held adds A → B. Unlock
+//     kills held-ness; a deferred Unlock does not (the lock is held to
+//     function exit).
+//   - call summaries: holding A while calling a module-local function
+//     whose summary says it may acquire B adds A → B. Summaries are
+//     transitive fixed points over the module call graph; go
+//     statements are excluded (a spawned goroutine's locks are not
+//     taken while the caller blocks).
+//   - guarded-by annotations: a *Locked function (ROAM005's convention
+//     for "caller holds the lock") is analyzed with the guards of
+//     every annotated field it touches pre-seeded as held, so the
+//     order "caller's lock, then whatever *Locked acquires" is edges
+//     too.
+//
+// Cycles are reported once per strongly connected component, with the
+// full witness chain (each edge's function and position). Self-edges
+// are skipped by design: two INSTANCES of the same type locking each
+// other (hand-over-hand traversal, shard A forwarding to shard B) is
+// an instance-ordering discipline this type-level graph cannot judge.
+var lockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Code: "ROAM009",
+	Doc:  "the module-wide mutex acquisition graph has no lock-order cycles",
+	// RunModule is wired in init to avoid an initialization cycle
+	// (the run function references the analyzer for diagnostics).
+}
+
+func init() { lockorderAnalyzer.RunModule = runLockorder }
+
+const factHeldPrefix = "held:"
+
+// lockWitness records where one acquisition edge was observed.
+type lockWitness struct {
+	pkg *Package
+	fn  string
+	pos token.Pos
+}
+
+type lockGraph struct {
+	// edges[from][to] = first witness observed (deterministic: package,
+	// file, declaration order).
+	edges map[string]map[string]lockWitness
+}
+
+func (g *lockGraph) add(from, to string, w lockWitness) {
+	if from == to {
+		return // instance ordering, not type ordering — see doc comment
+	}
+	if g.edges[from] == nil {
+		g.edges[from] = map[string]lockWitness{}
+	}
+	if _, ok := g.edges[from][to]; !ok {
+		g.edges[from][to] = w
+	}
+}
+
+func runLockorder(pkgs []*Package) []Diagnostic {
+	summaries := lockSummaries(pkgs)
+	graph := &lockGraph{edges: map[string]map[string]lockWitness{}}
+
+	for _, p := range pkgs {
+		guarded := collectGuardedFields(p)
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				collectLockEdges(p, fd, guarded, summaries, graph)
+			}
+		}
+	}
+	return reportLockCycles(graph)
+}
+
+// collectLockEdges runs the may-held analysis over fd and feeds every
+// observed acquisition-while-holding into the graph.
+func collectLockEdges(p *Package, fd *ast.FuncDecl, guarded map[*types.Var]string,
+	summaries map[*types.Func]map[string]bool, graph *lockGraph) {
+
+	seed := lockedSeed(p, fd, guarded)
+	hasLocks := len(seed) > 0
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, kind := mutexCall(p, call); kind != lockNone {
+				hasLocks = true
+			}
+			if fn := calleeFunc(p, call); fn != nil && len(summaries[fn]) > 0 {
+				hasLocks = true
+			}
+		}
+		return true
+	})
+	if !hasLocks {
+		return
+	}
+
+	g := buildCFG(fd.Body)
+	held := g.solve(true, false, func(n ast.Node, in facts) facts {
+		for f := range seed {
+			in[f] = true
+		}
+		lockTransfer(p, n, in, nil, nil)
+		return in
+	})
+
+	// Final pass: emit edges with the pre-node held set (plus the
+	// annotation seed), replaying the within-node acquisition order.
+	// Nodes are visited in source order so the first witness recorded
+	// for an edge is deterministic.
+	emit := func(from, to string, pos token.Pos) {
+		graph.add(from, to, lockWitness{pkg: p, fn: fd.Name.Name, pos: pos})
+	}
+	nodes := make([]ast.Node, 0, len(held))
+	for n := range held {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+	for _, n := range nodes {
+		hf := held[n].clone()
+		for s := range seed {
+			hf[s] = true
+		}
+		lockTransfer(p, n, hf, summaries, emit)
+	}
+}
+
+// lockTransfer simulates one flow node's effect on the held set. With
+// emit non-nil it also reports acquisition edges: held → acquired for
+// direct Lock/RLock, held → callee summary for module-local calls.
+func lockTransfer(p *Package, n ast.Node, held facts,
+	summaries map[*types.Func]map[string]bool, emit func(from, to string, pos token.Pos)) {
+
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// A deferred Unlock keeps the lock held through the function
+		// body; a deferred Lock (weird) is ignored rather than modeled.
+		return
+	}
+	if _, ok := n.(*ast.GoStmt); ok {
+		// The spawned call runs concurrently, not while the caller
+		// blocks holding its locks.
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.DeferStmt); ok {
+			return false
+		}
+		if _, ok := m.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, pos, kind := mutexCall(p, call)
+		switch kind {
+		case lockAcquire:
+			if emit != nil {
+				for f := range held {
+					if from, ok := strings.CutPrefix(f, factHeldPrefix); ok {
+						emit(from, id, pos)
+					}
+				}
+			}
+			held[factHeldPrefix+id] = true
+			return true
+		case lockRelease:
+			delete(held, factHeldPrefix+id)
+			return true
+		}
+		if emit != nil {
+			if fn := calleeFunc(p, call); fn != nil {
+				for to := range summaries[fn] {
+					for f := range held {
+						if from, ok := strings.CutPrefix(f, factHeldPrefix); ok {
+							emit(from, to, call.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// mutexCall classifies call as a sync.Mutex/RWMutex Lock/RLock (or
+// Unlock/RUnlock) on a nameable mutex identity. Locks on local
+// variables have no cross-function identity and return lockNone.
+func mutexCall(p *Package, call *ast.CallExpr) (id string, pos token.Pos, kind lockKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, lockNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", 0, lockNone
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, lockNone
+	}
+	id = mutexIdent(p, sel.X)
+	if id == "" {
+		return "", 0, lockNone
+	}
+	return id, sel.Pos(), kind
+}
+
+// mutexIdent names the mutex expression e with a module-wide identity:
+// "pkg.Type.field" for a struct's mutex field, "pkg.var" for a
+// package-level mutex variable, "" for anything without a stable
+// identity (locals, complex expressions).
+func mutexIdent(p *Package, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		selInfo := p.Info.Selections[e]
+		if selInfo == nil || selInfo.Kind() != types.FieldVal {
+			return ""
+		}
+		field, ok := selInfo.Obj().(*types.Var)
+		if !ok {
+			return ""
+		}
+		return fieldMutexID(selInfo.Recv(), field)
+	case *ast.Ident:
+		v, ok := p.Info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		// Only package-level variables have a module-wide identity.
+		if v.Parent() != v.Pkg().Scope() {
+			return ""
+		}
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return ""
+}
+
+// fieldMutexID names a mutex field by its owning named type.
+func fieldMutexID(recv types.Type, field *types.Var) string {
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name() + "." + field.Name()
+}
+
+// lockSummaries computes, for every function in the module, the set of
+// mutex identities its body may acquire — directly or through
+// module-local callees — as a transitive fixed point. Spawned (go)
+// calls are excluded.
+func lockSummaries(pkgs []*Package) map[*types.Func]map[string]bool {
+	type declOf struct {
+		p  *Package
+		fd *ast.FuncDecl
+	}
+	var decls []declOf
+	summaries := map[*types.Func]map[string]bool{}
+	fnOf := map[*ast.FuncDecl]*types.Func{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls = append(decls, declOf{p, fd})
+				fnOf[fd] = fn
+				direct := map[string]bool{}
+				walkNoGo(fd.Body, func(n ast.Node) {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, _, kind := mutexCall(p, call); kind == lockAcquire {
+							direct[id] = true
+						}
+					}
+				})
+				if len(direct) > 0 {
+					summaries[fn] = direct
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			fn := fnOf[d.fd]
+			walkNoGo(d.fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee := calleeFunc(d.p, call)
+				if callee == nil || callee == fn {
+					return
+				}
+				for id := range summaries[callee] {
+					if !summaries[fn][id] {
+						if summaries[fn] == nil {
+							summaries[fn] = map[string]bool{}
+						}
+						summaries[fn][id] = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+	return summaries
+}
+
+// walkNoGo visits every node except go-statement subtrees.
+func walkNoGo(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// lockedSeed pre-seeds the held set of a *Locked function with the
+// guards of the annotated fields it touches: the documented contract
+// is that the caller already holds them.
+func lockedSeed(p *Package, fd *ast.FuncDecl, guarded map[*types.Var]string) facts {
+	seed := facts{}
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || len(guarded) == 0 {
+		return seed
+	}
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo := p.Info.Selections[sel]
+		if selInfo == nil || selInfo.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selInfo.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		guardPath, isGuarded := guarded[field]
+		if !isGuarded {
+			return true
+		}
+		if id := resolveGuardPath(selInfo.Recv(), guardPath); id != "" {
+			seed[factHeldPrefix+id] = true
+		}
+		return true
+	})
+	return seed
+}
+
+// resolveGuardPath walks a "mu" or "v.mu" guard annotation from the
+// guarded field's owner type to the mutex field it names.
+func resolveGuardPath(recv types.Type, path string) string {
+	parts := strings.Split(path, ".")
+	cur := recv
+	for i, part := range parts {
+		if ptr, ok := cur.Underlying().(*types.Pointer); ok {
+			cur = ptr.Elem()
+		}
+		if ptr, ok := cur.(*types.Pointer); ok {
+			cur = ptr.Elem()
+		}
+		st, ok := cur.Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		var field *types.Var
+		for j := 0; j < st.NumFields(); j++ {
+			if st.Field(j).Name() == part {
+				field = st.Field(j)
+				break
+			}
+		}
+		if field == nil {
+			return ""
+		}
+		if i == len(parts)-1 {
+			return fieldMutexID(cur, field)
+		}
+		cur = field.Type()
+	}
+	return ""
+}
+
+// reportLockCycles finds strongly connected components of the
+// acquisition graph and reports one diagnostic per cyclic component,
+// carrying the full witness chain.
+func reportLockCycles(g *lockGraph) []Diagnostic {
+	var nodes []string
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range g.edges {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	sccs := tarjanSCC(nodes, g)
+	var out []Diagnostic
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		cycle := shortestCycle(scc[0], scc, g)
+		if len(cycle) == 0 {
+			continue
+		}
+		var chain []string
+		var first lockWitness
+		for i := 0; i < len(cycle); i++ {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			w := g.edges[from][to]
+			if i == 0 {
+				first = w
+			}
+			pos := w.pkg.Fset.Position(w.pos)
+			chain = append(chain, fmt.Sprintf("%s → %s (%s at %s:%d)",
+				from, to, w.fn, shortPath(pos.Filename), pos.Line))
+		}
+		out = append(out, Diagnostic{
+			Pos:      first.pkg.Fset.Position(first.pos),
+			File:     first.pkg.Fset.Position(first.pos).Filename,
+			Line:     first.pkg.Fset.Position(first.pos).Line,
+			Col:      first.pkg.Fset.Position(first.pos).Column,
+			Code:     lockorderAnalyzer.Code,
+			Analyzer: lockorderAnalyzer.Name,
+			Message: fmt.Sprintf("lock-order cycle (potential deadlock): %s",
+				strings.Join(chain, ", ")),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+func shortPath(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		if j := strings.LastIndexByte(filename[:i], '/'); j >= 0 {
+			return filename[j+1:]
+		}
+	}
+	return filename
+}
+
+// tarjanSCC computes strongly connected components over the sorted
+// node list (iteration order is deterministic).
+func tarjanSCC(nodes []string, g *lockGraph) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		var succs []string
+		for to := range g.edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// shortestCycle BFSes within the SCC from start back to itself and
+// returns the node sequence (start first, cycle implied closed).
+func shortestCycle(start string, scc []string, g *lockGraph) []string {
+	inSCC := map[string]bool{}
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	type path struct {
+		node  string
+		trail []string
+	}
+	queue := []path{{start, []string{start}}}
+	visited := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var succs []string
+		for to := range g.edges[cur.node] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, to := range succs {
+			if to == start && len(cur.trail) > 1 {
+				return cur.trail
+			}
+			if !inSCC[to] || visited[to] {
+				continue
+			}
+			visited[to] = true
+			trail := append(append([]string{}, cur.trail...), to)
+			queue = append(queue, path{to, trail})
+		}
+	}
+	// A 2-cycle start→x→start where x was visited on a longer first
+	// path can slip the guard above; fall back to any direct back edge.
+	for to := range g.edges[start] {
+		if inSCC[to] {
+			if _, ok := g.edges[to][start]; ok {
+				return []string{start, to}
+			}
+		}
+	}
+	return nil
+}

@@ -74,16 +74,73 @@ var detFiles = map[string][]string{
 // deterministic reports whether the given file of package pkgPath is
 // under the dataset-determinism contract.
 func deterministic(p *Package, filename string) bool {
+	return scopedBy(p, filename, detSubtrees, detFiles)
+}
+
+// Durability scope (ROAM006 fsyncrename).
+//
+// The crash-safety contract — tmp → File.Sync → os.Rename → directory
+// fsync for every committed artifact — applies where the repo writes
+// durable state: the WAL sink (segments + compaction artifacts), the
+// shard control plane (reshard WAL copies), and fleet's reshard path
+// (the wal-manifest.json epoch commit point). Everything else renames
+// nothing durable, and a scope this tight keeps the analyzer's "every
+// os.Rename is a commit" premise true.
+var durabilitySubtrees = []string{
+	"internal/walsink", // WAL segments and compaction artifacts
+	"internal/shard",   // reshard destination WALs
+}
+
+var durabilityFiles = map[string][]string{
+	"internal/fleet": {"reshard.go"}, // wal-manifest.json commit point
+}
+
+// durabilityScoped reports whether the given file of package pkgPath
+// is under the crash-safe rename contract.
+func durabilityScoped(p *Package, filename string) bool {
+	return scopedBy(p, filename, durabilitySubtrees, durabilityFiles)
+}
+
+// Control-plane scope (ROAM008 gojoin).
+//
+// Goroutine-join hygiene applies to the long-lived control plane and
+// the campaign engine: a leaked goroutine there either races fleet
+// shutdown, holds a WAL handle past Close, or — worst — keeps mutating
+// state after the dataset is sealed. The simulation/model packages are
+// pure functions that spawn nothing, so they stay out of scope; cmd
+// mains are IN scope because a fire-and-forget server goroutine is
+// exactly the bug class this catches.
+var controlPlaneSubtrees = []string{
+	"cmd",
+	"internal/amigo",
+	"internal/chaos",
+	"internal/experiments",
+	"internal/fleet",
+	"internal/obs",
+	"internal/shard",
+	"internal/vclock",
+	"internal/walsink",
+	"internal/wire",
+}
+
+// controlPlaneScoped reports whether the given file of package pkgPath
+// is under the goroutine-join contract.
+func controlPlaneScoped(p *Package, filename string) bool {
+	return scopedBy(p, filename, controlPlaneSubtrees, nil)
+}
+
+// scopedBy is the shared subtree+file scope matcher.
+func scopedBy(p *Package, filename string, subtrees []string, files map[string][]string) bool {
 	rel, ok := moduleRel(p.Path)
 	if !ok {
 		return false
 	}
-	for _, prefix := range detSubtrees {
+	for _, prefix := range subtrees {
 		if rel == prefix || (prefix != "" && strings.HasPrefix(rel, prefix+"/")) {
 			return true
 		}
 	}
-	for _, f := range detFiles[rel] {
+	for _, f := range files[rel] {
 		if path.Base(filename) == f {
 			return true
 		}

@@ -1,0 +1,60 @@
+// Package clockgolden is golden-test input for the ROAM007 analyzer:
+// deterministic packages must not construct wall-clock timers or
+// deadline contexts behind the injected vclock.Clock.
+package clockgolden
+
+import (
+	"context"
+	"time"
+)
+
+// fakeClock mimics the injected clock interface: same-named methods on
+// a local type are the sanctioned replacements, not violations.
+type fakeClock struct{}
+
+func (fakeClock) NewTimer(d time.Duration) *time.Timer  { return nil }
+func (fakeClock) NewTicker(d time.Duration) *time.Timer { return nil }
+func (fakeClock) WithTimeout()                          {}
+
+func badContextTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // want `context\.WithTimeout .* bypasses the injected vclock\.Clock`
+}
+
+func badContextDeadline(ctx context.Context, t time.Time) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(ctx, t) // want `context\.WithDeadline .* bypasses the injected vclock\.Clock`
+}
+
+func badNewTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer .* bypasses the injected vclock\.Clock`
+}
+
+func badNewTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time\.NewTicker .* bypasses the injected vclock\.Clock`
+}
+
+func badAfterFunc(fn func()) *time.Timer {
+	return time.AfterFunc(time.Second, fn) // want `time\.AfterFunc .* bypasses the injected vclock\.Clock`
+}
+
+// False-positive guards: methods on a local type are not the time or
+// context packages, and a cancellation context carries no deadline.
+func goodClockMethod(c fakeClock) *time.Timer { return c.NewTimer(time.Second) }
+func goodTickerMethod(c fakeClock) *time.Timer {
+	return c.NewTicker(time.Second)
+}
+func goodLocalWithTimeout(c fakeClock) { c.WithTimeout() }
+func goodWithCancel(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// A justified allow: the sanctioned real-time edge.
+func allowedTimer() *time.Timer {
+	//lint:allow clockpurity golden-test case: real-clock adapter construction
+	return time.NewTimer(time.Second)
+}
+
+// A bare directive is no waiver.
+func bareAllowTimer() *time.Timer {
+	//lint:allow clockpurity
+	return time.NewTimer(time.Second) // want `time\.NewTimer .* bypasses the injected vclock\.Clock`
+}

@@ -1,0 +1,23 @@
+// Package flowscope carries violations of the flow-aware contracts
+// (ROAM006 fsyncrename, ROAM007 clockpurity, ROAM008 gojoin) in a
+// package OUTSIDE all of their scopes: none of them may report here.
+// Renames of non-durable files, real timers in real-time code, and
+// fire-and-forget goroutines are all legitimate off-contract.
+package flowscope
+
+import (
+	"os"
+	"time"
+)
+
+func renameScratch(tmp, dst string) error {
+	return os.Rename(tmp, dst)
+}
+
+func realTimer() *time.Timer {
+	return time.NewTimer(time.Second)
+}
+
+func fireAndForget(fn func()) {
+	go fn()
+}

@@ -1,0 +1,140 @@
+// Package fsyncgolden is golden-test input for the ROAM006 analyzer:
+// in durability-scoped packages every os.Rename commit must be
+// dominated by a File.Sync and followed on every successful path by a
+// directory fsync (tmp → fsync → rename → fsyncDir).
+package fsyncgolden
+
+import (
+	"fmt"
+	"os"
+)
+
+// fsyncDir is the module-local directory-fsync helper shape the
+// analyzer classifies: Sync on a handle opened with os.Open.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeSynced writes and syncs the tmp file: a file-syncer helper the
+// forward analysis must recognize transitively.
+func writeSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// The full protocol through helpers: no findings.
+func goodFullProtocol(dir, tmp, dst string, data []byte) error {
+	if err := writeSynced(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	return fsyncDir(dir)
+}
+
+// The directory fsync written out longhand: the inline os.Open+Sync
+// idiom counts without any helper.
+func goodInlineDirSync(dir, tmp, dst string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// False-positive guard: a DEFERRED directory fsync runs on every path
+// to return, so the backward must-analysis is satisfied.
+func goodDeferredDirSync(dir, tmp, dst string, f *os.File) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	defer d.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}
+
+// Nothing syncs the tmp file before the commit.
+func badNoFileSync(dir, tmp, dst string) error {
+	if err := os.Rename(tmp, dst); err != nil { // want `not dominated by a File\.Sync`
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// The rename commits but the directory entry is never fenced: the
+// error-bail return is exempt, the success return is not.
+func badNoDirSync(tmp, dst string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil { // want `not followed on every successful path by a directory fsync`
+		return err
+	}
+	return nil
+}
+
+// `return os.Rename(...)` is a commit whose success case has no
+// barrier behind it — deliberately NOT an error bail.
+func badTailRename(tmp, dst string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `not followed on every successful path by a directory fsync`
+}
+
+// Must-analysis: a sync on only one path in is no domination.
+func badOneBranchSync(dir, tmp, dst string, f *os.File, fast bool) error {
+	if !fast {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dst); err != nil { // want `not dominated by a File\.Sync`
+		return err
+	}
+	return fsyncDir(dir)
+}
+
+// A justified allow suppresses both halves of the protocol check.
+func allowedScratchRename(tmp, dst string) error {
+	//lint:allow fsyncrename golden-test case: target is a scratch cache, not durable state
+	return os.Rename(tmp, dst)
+}
+
+// A bare directive is no waiver: ROAM000 fires on the directive and
+// the protocol finding still fires on the rename.
+func bareAllowRename(tmp, dst string, f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	//lint:allow fsyncrename
+	return os.Rename(tmp, dst) // want `not followed on every successful path by a directory fsync`
+}

@@ -1,0 +1,108 @@
+// Package joingolden is golden-test input for the ROAM008 analyzer:
+// every go statement in control-plane scope needs a join path —
+// WaitGroup-style Add-before-spawn pairing, a channel collector, or a
+// justified allow.
+package joingolden
+
+import "sync"
+
+// waiter mimics the vclock.Virtual waiter registry: custom Add/Done
+// counters join exactly like sync.WaitGroup.
+type waiter struct{ n int }
+
+func (w *waiter) Add(delta int) { w.n += delta }
+func (w *waiter) Done()         { w.n-- }
+
+type pool struct {
+	wg   sync.WaitGroup
+	busy bool
+}
+
+func goodAddBeforeSpawn(p *pool) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+	p.wg.Wait()
+}
+
+// May-analysis false-positive guard: Add and spawn guarded by the same
+// condition (the fleet maybeReshard shape). A must-analysis cannot
+// correlate the two ifs; the may-analysis sees the Add reach the spawn.
+func goodGuardedPair(p *pool, fire bool) {
+	if fire {
+		p.wg.Add(1)
+	}
+	if fire {
+		go p.work()
+	}
+}
+
+// The spawned body may be a named method: its deferred Done on the
+// receiver pairs with the caller's Add on the same counter field.
+func (q *pool) work() { defer q.wg.Done() }
+
+// Custom Add/Done counters count as join evidence.
+func goodCustomCounter(w *waiter) {
+	w.Add(1)
+	go func() {
+		defer w.Done()
+	}()
+}
+
+// A send the enclosing function receives is a join.
+func goodChannelCollector() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+func goodRangeCollector() int {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 4; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func badNoJoin(p *pool) {
+	go func() { p.busy = true }() // want `go statement in badNoJoin has no join path`
+}
+
+// Flow order matters: an Add AFTER the go statement is no evidence.
+func badAddAfterSpawn(p *pool) {
+	go func() { // want `go statement in badAddAfterSpawn has no join path`
+		defer p.wg.Done()
+	}()
+	p.wg.Add(1)
+	p.wg.Wait()
+}
+
+// The classic lost-signal race: Add inside the spawned goroutine. By
+// the time it runs, the parent may already be past Wait.
+func badAddInsideClosure(p *pool) {
+	go func() {
+		p.wg.Add(1) // want `p\.wg\.Add inside the spawned goroutine races Wait`
+		defer p.wg.Done()
+	}()
+	p.wg.Wait()
+}
+
+// The sanctioned fire-and-forget needs a reasoned allow.
+func allowedFireAndForget(srv func()) {
+	//lint:allow gojoin golden-test case: process-lifetime server goroutine
+	go srv()
+}
+
+// A bare directive is no waiver.
+func bareAllowSpawn(srv func()) {
+	//lint:allow gojoin
+	go srv() // want `go statement in bareAllowSpawn has no join path`
+}

@@ -1,0 +1,135 @@
+// Package lockgolden is golden-test input for the ROAM009 analyzer:
+// the module-wide mutex acquisition graph must be acyclic. One
+// diagnostic per cyclic component, positioned at the first witness of
+// the cycle's first edge.
+package lockgolden
+
+import "sync"
+
+// ---- Direct AB/BA cycle ----------------------------------------------
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+func lockAB(a *alpha, b *beta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle .*alpha\.mu .*beta\.mu`
+	defer b.mu.Unlock()
+}
+
+func lockBA(a *alpha, b *beta) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// ---- Consistent order: no cycle --------------------------------------
+
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+func orderedOne(g *gamma, d *delta) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func orderedTwo(g *gamma, d *delta) {
+	g.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// False-positive guard: hand-over-hand locking of two INSTANCES of the
+// same type is instance ordering, not a type-level self-cycle.
+func handOverHand(x, y *gamma) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// False-positive guard: a non-deferred Unlock releases the lock, so
+// the later acquisition is NOT nested inside it — no delta→gamma edge,
+// no cycle with the gamma→delta order above.
+func killRelease(g *gamma, d *delta) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// ---- Cycle through a callee summary ----------------------------------
+
+type outer struct{ mu sync.Mutex }
+type inner struct{ mu sync.Mutex }
+
+func lockInner(i *inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+// outer.mu held across a call whose summary acquires inner.mu.
+func viaHelper(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lockInner(i)
+}
+
+func reversed(o *outer, i *inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.mu.Lock() // want `lock-order cycle .*inner\.mu .*outer\.mu`
+	defer o.mu.Unlock()
+}
+
+// ---- Cycle through a guarded-by annotation ---------------------------
+
+type aux struct{ mu sync.Mutex }
+
+type gstate struct {
+	mu sync.Mutex
+	q  int // guarded by mu
+}
+
+// The Locked suffix means the caller holds gstate.mu (seeded from the
+// guarded-by annotation on the field it touches), so the aux.mu
+// acquisition is nested inside it.
+func (s *gstate) flushLocked(a *aux) {
+	s.q = 0
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+func auxFirst(s *gstate, a *aux) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s.mu.Lock() // want `lock-order cycle .*aux\.mu .*gstate\.mu`
+	defer s.mu.Unlock()
+}
+
+// ---- Allow directives ------------------------------------------------
+
+type epsilon struct{ mu sync.Mutex }
+type zeta struct{ mu sync.Mutex }
+
+func lockEZ(e *epsilon, z *zeta) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:allow lockorder golden-test case: cycle is protected by an external coordination barrier
+	z.mu.Lock()
+	defer z.mu.Unlock()
+}
+
+func lockZE(e *epsilon, z *zeta) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+//lint:allow lockorder

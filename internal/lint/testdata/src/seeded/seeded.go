@@ -5,12 +5,24 @@
 package seeded
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
 )
 
 func seededWallclock() time.Time {
+	return time.Now()
+}
+
+func seededClockpurity(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, time.Second)
+}
+
+// One reasoned waiver, so the driver test can assert the -allows
+// inventory reports it with its reason.
+func allowedWallclock() time.Time {
+	//lint:allow wallclock seeded scratch module: exercises the allow inventory
 	return time.Now()
 }
 

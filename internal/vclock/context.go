@@ -40,6 +40,7 @@ func ContextWithTimeout(parent context.Context, c Clock, d time.Duration) (conte
 	if v, ok := c.(*Virtual); ok {
 		return v.newCtx(parent, d)
 	}
+	//lint:allow clockpurity ContextWithTimeout IS the sanctioned wrapper; the non-virtual arm delegates to the stdlib
 	return context.WithTimeout(parent, d)
 }
 

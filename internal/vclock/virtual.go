@@ -257,6 +257,7 @@ func (v *Virtual) StallGuard(interval time.Duration, onStall func(dump string)) 
 		onStall = func(dump string) { panic("vclock: stalled: " + dump) }
 	}
 	var t *time.Timer
+	//lint:allow clockpurity the stall guard deliberately runs on the wall clock so it can fire while virtual time is stuck
 	t = time.AfterFunc(interval, func() {
 		v.mu.Lock()
 		stalled := v.waiters > 0 && v.activity == v.lastSeen
